@@ -1,0 +1,81 @@
+// Experiment A-ABL — ablations of the refinement's design choices:
+//
+//   progress buffer (§3.2): reserve the last free slot for requests that can
+//       complete a rendezvous in the current state. Without it, the buffer
+//       fills with requests that cannot fire and the completing message is
+//       nacked forever — the livelock the paper describes.
+//   ack buffer (§3.2): reserve a slot for the pending target's response when
+//       entering a transient state.
+//   request/reply fusion (§3.3): message savings (see also E-MSG); here we
+//       confirm it does not change safety or progress.
+//
+// Livelock is measured exactly: a *doomed* state is a reachable state from
+// which no rendezvous-completing transition is ever reachable again.
+#include <cstdio>
+#include <iostream>
+
+#include "protocols/invalidate.hpp"
+#include "protocols/migratory.hpp"
+#include "refine/refined.hpp"
+#include "runtime/async_system.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "verify/progress.hpp"
+
+using namespace ccref;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  std::size_t mem = static_cast<std::size_t>(
+                        cli.int_flag("mem-mb", 1024, "memory limit (MB)"))
+                    << 20;
+  bool full = cli.bool_flag(
+      "full", true, "include the invalidate N=4 rows (~1.2M states each)");
+  cli.finish();
+
+  std::printf(
+      "A-ABL: buffer-reservation ablations — doomed states = reachable "
+      "livelock\n\n");
+  Table table({"Protocol", "N", "progress buf", "ack buf", "fusion",
+               "States", "Doomed states", "Verdict"});
+
+  auto run = [&](const char* name, const ir::Protocol& p, int n,
+                 bool progress, bool ack, bool fusion) {
+    refine::Options opts;
+    opts.progress_buffer = progress;
+    opts.ack_buffer = ack;
+    opts.request_reply_fusion = fusion;
+    auto rp = refine::refine(p, opts);
+    auto r = verify::check_progress(runtime::AsyncSystem(rp, n), mem);
+    std::string verdict =
+        r.status != verify::Status::Ok ? "Unfinished"
+        : r.doomed == 0                ? "live"
+                                       : "LIVELOCK";
+    table.row({name, strf("%d", n), progress ? "on" : "off",
+               ack ? "on" : "off", fusion ? "on" : "off",
+               strf("%zu", r.states), strf("%zu", r.doomed), verdict});
+  };
+
+  auto mig = protocols::make_migratory();
+  run("migratory", mig, 4, true, true, true);
+  run("migratory", mig, 4, false, true, true);
+  run("migratory", mig, 4, true, false, true);
+  run("migratory", mig, 4, false, false, true);
+  run("migratory", mig, 4, true, true, false);
+
+  if (full) {
+    auto inv = protocols::make_invalidate();
+    run("invalidate", inv, 4, true, true, true);
+    run("invalidate", inv, 4, false, true, true);
+    run("invalidate", inv, 4, true, false, true);
+    run("invalidate", inv, 4, false, false, true);
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\npaper (§3.2): without the progress-buffer reservation 'a livelock "
+      "can result'; with both\nreservations the refined protocol guarantees "
+      "forward progress for at least one remote (§2.5).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Experiment E-BUF — buffer requirements and fairness (§2.5, §6):
+//
+//   "If we were to guarantee progress only for some remote node, a buffer
+//    that can hold 2 messages suffices. ... assuring forward progress for
+//    each remote node requires too much buffer space ... if the size of the
+//    buffer in the home node is n ... the home node never generates a nack."
+//
+// Sweeps the home buffer capacity k for a fixed contending population and
+// reports nack traffic, messages per op, latency spread, and Jain's fairness
+// index over per-remote completions. k = n+1 (one slot per remote plus the
+// ack buffer) eliminates nacks entirely, as §6 predicts.
+#include <cstdio>
+#include <algorithm>
+#include <iostream>
+
+#include "protocols/migratory.hpp"
+#include "refine/refined.hpp"
+#include "runtime/async_system.hpp"
+#include "sim/simulator.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using namespace ccref;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  int n = static_cast<int>(cli.int_flag("remotes", 8, "contending remotes"));
+  int cycles = static_cast<int>(
+      cli.int_flag("cycles", 40, "acquire/release cycles per remote"));
+  std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.int_flag("seed", 11, "scheduler seed"));
+  cli.finish();
+
+  auto p = protocols::make_migratory();
+  auto w = sim::migratory_workload(p, n, cycles);
+
+  std::printf(
+      "E-BUF: home buffer capacity k vs nacks and fairness "
+      "(migratory, %d remotes, %d cycles each)\n\n",
+      n, cycles);
+  Table table({"k", "Ops", "nacks", "nacks/op", "msgs/op", "avg latency",
+               "max latency", "Jain fairness"});
+
+  std::vector<int> ks = {2, 3, 4, n / 2, n, n + 1};
+  ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
+  for (int k : ks) {
+    refine::Options opts;
+    opts.home_buffer_capacity = k;
+    opts.channel_capacity = 8;
+    auto rp = refine::refine(p, opts);
+    runtime::AsyncSystem sys(rp, n);
+    sim::SimOptions sopts;
+    sopts.seed = seed;
+    auto stats = sim::simulate(sys, w, sopts);
+    if (!stats.finished) {
+      table.row({strf("%d", k), "STALLED", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    std::uint64_t lat_total = 0, lat_max = 0, lat_n = 0;
+    for (const auto& r : stats.remotes) {
+      lat_total += r.latency_total;
+      lat_n += r.ops_completed;
+      lat_max = std::max(lat_max, r.latency_max);
+    }
+    table.row(
+        {strf("%d", k),
+         strf("%llu", static_cast<unsigned long long>(stats.ops_total)),
+         strf("%llu", static_cast<unsigned long long>(stats.nack)),
+         strf("%.3f", static_cast<double>(stats.nack) /
+                          static_cast<double>(stats.ops_total)),
+         strf("%.2f", stats.msgs_per_op()),
+         strf("%.1f", lat_n ? static_cast<double>(lat_total) /
+                                  static_cast<double>(lat_n)
+                            : 0.0),
+         strf("%llu", static_cast<unsigned long long>(lat_max)),
+         strf("%.3f", stats.fairness_index())});
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\npaper (§2.5/§6): k=2 suffices for weak-fairness progress; a buffer "
+      "of n (here k=%d)\nmeans the home never nacks; per-remote strong "
+      "fairness by refinement alone is impractical.\n",
+      n + 1);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// MICRO — google-benchmark microbenchmarks of the checker's hot paths:
+// state encode/decode, successor enumeration (both semantics), hashing, and
+// visited-set insertion. These dominate Table 3's wall-clock numbers.
+#include <benchmark/benchmark.h>
+
+#include "protocols/invalidate.hpp"
+#include "protocols/migratory.hpp"
+#include "refine/refined.hpp"
+#include "runtime/async_system.hpp"
+#include "sem/rendezvous.hpp"
+#include "support/hash.hpp"
+#include "verify/checker.hpp"
+#include "verify/state_set.hpp"
+
+using namespace ccref;
+
+namespace {
+
+const ir::Protocol& migratory() {
+  static const ir::Protocol p = protocols::make_migratory();
+  return p;
+}
+
+const refine::RefinedProtocol& refined_migratory() {
+  static const refine::RefinedProtocol rp = refine::refine(migratory());
+  return rp;
+}
+
+void BM_RendezvousSuccessors(benchmark::State& state) {
+  sem::RendezvousSystem sys(migratory(), static_cast<int>(state.range(0)));
+  auto s = sys.initial();
+  for (auto _ : state) benchmark::DoNotOptimize(sys.successors(s));
+}
+BENCHMARK(BM_RendezvousSuccessors)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AsyncSuccessors(benchmark::State& state) {
+  runtime::AsyncSystem sys(refined_migratory(),
+                           static_cast<int>(state.range(0)));
+  auto s = sys.initial();
+  for (auto _ : state) benchmark::DoNotOptimize(sys.successors(s));
+}
+BENCHMARK(BM_AsyncSuccessors)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AsyncEncode(benchmark::State& state) {
+  runtime::AsyncSystem sys(refined_migratory(),
+                           static_cast<int>(state.range(0)));
+  auto s = sys.initial();
+  for (auto _ : state) {
+    ByteSink sink;
+    sys.encode(s, sink);
+    benchmark::DoNotOptimize(sink.bytes());
+  }
+}
+BENCHMARK(BM_AsyncEncode)->Arg(4)->Arg(64);
+
+void BM_AsyncEncodeDecodeRoundTrip(benchmark::State& state) {
+  runtime::AsyncSystem sys(refined_migratory(),
+                           static_cast<int>(state.range(0)));
+  auto s = sys.initial();
+  for (auto _ : state) {
+    ByteSink sink;
+    sys.encode(s, sink);
+    ByteSource src(sink.bytes());
+    benchmark::DoNotOptimize(sys.decode(src));
+  }
+}
+BENCHMARK(BM_AsyncEncodeDecodeRoundTrip)->Arg(4)->Arg(64);
+
+void BM_HashBytes(benchmark::State& state) {
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)),
+                              std::byte{0x5a});
+  for (auto _ : state) benchmark::DoNotOptimize(hash_bytes(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HashBytes)->Arg(16)->Arg(64)->Arg(1024);
+
+void BM_StateSetInsert(benchmark::State& state) {
+  std::uint64_t i = 0;
+  verify::StateSet set(1u << 30);
+  for (auto _ : state) {
+    ByteSink sink;
+    sink.u64(i++);
+    sink.u64(i * 0x9e3779b9);
+    benchmark::DoNotOptimize(set.insert(sink.bytes()));
+  }
+}
+BENCHMARK(BM_StateSetInsert);
+
+void BM_ExploreMigratoryRendezvous(benchmark::State& state) {
+  for (auto _ : state) {
+    sem::RendezvousSystem sys(migratory(), static_cast<int>(state.range(0)));
+    verify::CheckOptions<sem::RendezvousSystem> opts;
+    opts.want_trace = false;
+    benchmark::DoNotOptimize(verify::explore(sys, opts));
+  }
+}
+BENCHMARK(BM_ExploreMigratoryRendezvous)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

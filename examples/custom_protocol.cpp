@@ -1,0 +1,120 @@
+// Custom protocols from text: parse a .csp file, validate it, model-check
+// the rendezvous view, refine it, and model-check the asynchronous result
+// with the §4 simulation relation.
+//
+//   ./custom_protocol path/to/protocol.csp [--remotes=3]
+//
+// Run without arguments to use the bundled ticket-dispenser example
+// (examples/protocols/ticket.csp is compiled in below so the binary works
+// from any directory).
+#include <cstdio>
+
+#include "dsl/parser.hpp"
+#include "ir/print.hpp"
+#include "ir/validate.hpp"
+#include "refine/abstraction.hpp"
+#include "refine/refined.hpp"
+#include "runtime/async_system.hpp"
+#include "sem/rendezvous.hpp"
+#include "support/cli.hpp"
+#include "verify/checker.hpp"
+#include "verify/progress.hpp"
+
+using namespace ccref;
+
+namespace {
+
+constexpr const char* kBundledTicket = R"(
+protocol ticket;
+message take;
+message ticket(int);
+
+home h {
+  var j: node;
+  var next: int mod 4;
+  state IDLE initial {
+    r(any j)?take -> GIVE
+  }
+  state GIVE {
+    r(j)!ticket(next) { next := next + 1; j := node(0) } -> IDLE
+  }
+}
+
+remote r {
+  var mine: int mod 4;
+  state ASK initial {
+    h!take -> WAIT
+  }
+  state WAIT {
+    h?ticket(mine) -> DONE
+  }
+  internal DONE {
+    tau again -> ASK
+  }
+}
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  int n = static_cast<int>(cli.int_flag("remotes", 2, "number of remotes"));
+  cli.finish();
+
+  dsl::ParseResult parsed =
+      cli.positional().empty() ? dsl::parse(kBundledTicket)
+                               : dsl::parse_file(cli.positional()[0]);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse failed:\n%s\n",
+                 parsed.error_text().c_str());
+    return 1;
+  }
+  const ir::Protocol& p = *parsed.protocol;
+  std::printf("parsed protocol '%s':\n\n%s\n", p.name.c_str(),
+              ir::to_string(p).c_str());
+
+  auto diags = ir::validate(p);
+  if (ir::has_errors(diags)) {
+    std::fprintf(stderr, "validation failed:\n%s",
+                 ir::to_string(diags).c_str());
+    return 1;
+  }
+  if (!diags.empty())
+    std::printf("warnings:\n%s\n", ir::to_string(diags).c_str());
+
+  sem::RendezvousSystem rendezvous(p, n);
+  auto rv = verify::explore(rendezvous);
+  std::printf("rendezvous (%d remotes): %s, %zu states (%.3fs)\n", n,
+              verify::to_string(rv.status), rv.states, rv.seconds);
+  if (rv.status != verify::Status::Ok) {
+    std::printf("  %s\n", rv.violation.c_str());
+    for (const auto& step : rv.trace) std::printf("  %s\n", step.c_str());
+    return 1;
+  }
+
+  auto refined = refine::refine(p);
+  std::printf("refinement:\n");
+  for (ir::MsgId m = 0; m < p.messages.size(); ++m)
+    std::printf("  %-10s %s\n", p.messages[m].name.c_str(),
+                refine::to_string(refined.cls(m)));
+
+  runtime::AsyncSystem async(refined, n);
+  verify::CheckOptions<runtime::AsyncSystem> opts;
+  opts.edge_check = refine::make_simulation_checker(async, rendezvous);
+  auto as = verify::explore(async, opts);
+  std::printf("asynchronous (%d remotes): %s, %zu states (%.3fs)\n", n,
+              verify::to_string(as.status), as.states, as.seconds);
+  if (as.status != verify::Status::Ok) {
+    std::printf("  %s\n", as.violation.c_str());
+    for (const auto& step : as.trace) std::printf("  %s\n", step.c_str());
+    return 1;
+  }
+
+  auto prog = verify::check_progress(async);
+  std::printf("progress: %zu/%zu states can always complete another "
+              "rendezvous%s\n",
+              prog.states - prog.doomed, prog.states,
+              prog.doomed ? "  <-- LIVELOCK" : "");
+  std::printf("\nall checks passed — Equation 1 held on every transition.\n");
+  return prog.doomed == 0 ? 0 : 1;
+}

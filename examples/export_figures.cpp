@@ -1,0 +1,50 @@
+// Regenerates the paper's protocol diagrams (Figures 2-5) as Graphviz DOT:
+//
+//   fig2_home_rendezvous.dot    — migratory home node (Fig. 2)
+//   fig3_remote_rendezvous.dot  — migratory remote node (Fig. 3)
+//   fig4_home_refined.dot       — refined home node (Fig. 4)
+//   fig5_remote_refined.dot     — refined remote node (Fig. 5)
+//   fig5_remote_hand.dot        — the hand design (dotted LR, no ack)
+//
+//   ./export_figures [--out=figures]
+//   dot -Tpng figures/fig2_home_rendezvous.dot -o fig2.png
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "protocols/migratory.hpp"
+#include "refine/refined.hpp"
+#include "support/cli.hpp"
+#include "viz/dot.hpp"
+
+using namespace ccref;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  std::string out_dir = cli.str_flag("out", "figures", "output directory");
+  cli.finish();
+
+  std::filesystem::create_directories(out_dir);
+  auto write = [&](const std::string& name, const std::string& dot) {
+    std::string path = out_dir + "/" + name;
+    std::ofstream(path) << dot;
+    std::printf("wrote %s\n", path.c_str());
+  };
+
+  auto p = protocols::make_migratory();
+  auto refined = refine::refine(p);
+  refine::Options hand_opts;
+  hand_opts.elide_ack = {"LR"};
+  auto hand = refine::refine(p, hand_opts);
+
+  write("fig2_home_rendezvous.dot", viz::rendezvous_dot(p, p.home));
+  write("fig3_remote_rendezvous.dot", viz::rendezvous_dot(p, p.remote));
+  write("fig4_home_refined.dot", viz::refined_dot(refined, p.home));
+  write("fig5_remote_refined.dot", viz::refined_dot(refined, p.remote));
+  write("fig5_remote_hand.dot", viz::refined_dot(hand, p.remote));
+
+  std::printf("\nrender with: dot -Tpng %s/fig2_home_rendezvous.dot -o "
+              "fig2.png\n",
+              out_dir.c_str());
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Quickstart: the full ccref pipeline on a tiny protocol, end to end.
+//
+//   1. Write a rendezvous protocol with the builder (or the textual DSL).
+//   2. Validate it against the paper's §2.4 restrictions.
+//   3. Model-check the rendezvous semantics (cheap).
+//   4. Refine it into an asynchronous protocol (§3).
+//   5. Model-check the asynchronous semantics with the §4 simulation
+//      relation — soundness for free.
+//
+// The protocol: remotes increment a counter held by the home and read the
+// new value back (the reply fuses with the request under §3.3).
+#include <cstdio>
+
+#include "ir/builder.hpp"
+#include "ir/print.hpp"
+#include "ir/validate.hpp"
+#include "refine/abstraction.hpp"
+#include "refine/refined.hpp"
+#include "runtime/async_system.hpp"
+#include "sem/rendezvous.hpp"
+#include "verify/checker.hpp"
+
+using namespace ccref;
+
+int main() {
+  // ---- 1. write the protocol -------------------------------------------------
+  ir::ProtocolBuilder b("counter");
+  ir::MsgId BUMP = b.msg("bump");
+  ir::MsgId VAL = b.msg("val", {ir::Type::Int});
+
+  auto& h = b.home();
+  ir::VarId j = h.var("j", ir::Type::Node);
+  ir::VarId c = h.var("c", ir::Type::Int, 0, 4);
+  h.comm("IDLE").initial();
+  h.comm("REPLY");
+  h.input("IDLE", BUMP)
+      .from_any(j)
+      .act(ir::st::assign(c, ir::ex::add(ir::ex::var(c), ir::ex::lit(1))))
+      .go("REPLY");
+  h.output("REPLY", VAL)
+      .to(ir::ex::var(j))
+      .pay({ir::ex::var(c)})
+      .act(ir::st::assign(j, ir::ex::node(0)))
+      .go("IDLE");
+
+  auto& r = b.remote();
+  ir::VarId seen = r.var("seen", ir::Type::Int, 0, 4);
+  r.comm("ASK");  // active: bump whenever the client feels like it
+  r.comm("WAIT");
+  r.output("ASK", BUMP).go("WAIT");
+  r.input("WAIT", VAL).bind({seen}).go("ASK");
+
+  ir::Protocol protocol = b.build();
+  std::printf("=== rendezvous protocol ===\n%s\n",
+              ir::to_string(protocol).c_str());
+
+  // ---- 2. validate -------------------------------------------------------------
+  auto diags = ir::validate(protocol);
+  if (ir::has_errors(diags)) {
+    std::printf("validation failed:\n%s", ir::to_string(diags).c_str());
+    return 1;
+  }
+  std::printf("validation: ok (the §2.4 star-protocol fragment)\n\n");
+
+  // ---- 3. model-check the rendezvous view ---------------------------------------
+  const int n = 3;
+  sem::RendezvousSystem rendezvous(protocol, n);
+  auto rv = verify::explore(rendezvous);
+  std::printf("rendezvous semantics, %d remotes: %s, %zu states, %zu "
+              "transitions (%.3fs)\n",
+              n, verify::to_string(rv.status), rv.states, rv.transitions,
+              rv.seconds);
+
+  // ---- 4. refine -----------------------------------------------------------------
+  auto refined = refine::refine(protocol);
+  for (ir::MsgId m = 0; m < protocol.messages.size(); ++m)
+    std::printf("  message %-5s -> %s\n",
+                protocol.messages[m].name.c_str(),
+                refine::to_string(refined.cls(m)));
+  std::printf("(bump/val fused per §3.3: the reply doubles as the ack)\n\n");
+
+  // ---- 5. model-check the asynchronous protocol + Equation 1 --------------------
+  runtime::AsyncSystem async(refined, n);
+  verify::CheckOptions<runtime::AsyncSystem> opts;
+  opts.edge_check = refine::make_simulation_checker(async, rendezvous);
+  auto as = verify::explore(async, opts);
+  std::printf("asynchronous semantics, %d remotes: %s, %zu states, %zu "
+              "transitions (%.3fs)\n",
+              n, verify::to_string(as.status), as.states, as.transitions,
+              as.seconds);
+  if (as.status != verify::Status::Ok) {
+    std::printf("  violation: %s\n", as.violation.c_str());
+    return 1;
+  }
+  std::printf(
+      "every asynchronous transition satisfied Equation 1 — the refined "
+      "protocol\nimplements the rendezvous one without a separate proof "
+      "(%zux state blowup avoided\nat specification time).\n",
+      rv.states ? as.states / rv.states : 0);
+  return 0;
+}

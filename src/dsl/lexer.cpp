@@ -1,0 +1,142 @@
+#include "dsl/lexer.hpp"
+
+namespace ccref::dsl {
+
+const char* token_name(Tok kind) {
+  switch (kind) {
+    case Tok::Ident: return "identifier";
+    case Tok::Int: return "integer";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Comma: return "','";
+    case Tok::Query: return "'?'";
+    case Tok::Bang: return "'!'";
+    case Tok::Arrow: return "'->'";
+    case Tok::Assign: return "':='";
+    case Tok::PlusEq: return "'+='";
+    case Tok::MinusEq: return "'-='";
+    case Tok::Eq: return "'='";
+    case Tok::EqEq: return "'=='";
+    case Tok::NotEq: return "'!='";
+    case Tok::LessEq: return "'<='";
+    case Tok::Less: return "'<'";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+    case Tok::End: return "end of input";
+  }
+  return "?";
+}
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  int line = 1, col = 1;
+  std::size_t i = 0;
+
+  auto push = [&](Tok kind, std::size_t start, std::size_t len) {
+    out.tokens.push_back(
+        {kind, src.substr(start, len), line,
+         col - static_cast<int>(len)});
+  };
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (src[i + k] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    i += n;
+  };
+
+  auto is_ident_start = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  auto is_ident_char = [&](char c) {
+    return is_ident_start(c) || (c >= '0' && c <= '9');
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') advance(1);
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t start = i;
+      while (i < src.size() && is_ident_char(src[i])) advance(1);
+      push(Tok::Ident, start, i - start);
+      continue;
+    }
+    if (c >= '0' && c <= '9') {
+      std::size_t start = i;
+      while (i < src.size() && src[i] >= '0' && src[i] <= '9') advance(1);
+      push(Tok::Int, start, i - start);
+      continue;
+    }
+
+    auto two = [&](char a, char b, Tok kind) {
+      if (c == a && i + 1 < src.size() && src[i + 1] == b) {
+        std::size_t start = i;
+        advance(2);
+        push(kind, start, 2);
+        return true;
+      }
+      return false;
+    };
+    if (two('-', '>', Tok::Arrow)) continue;
+    if (two(':', '=', Tok::Assign)) continue;
+    if (two('+', '=', Tok::PlusEq)) continue;
+    if (two('-', '=', Tok::MinusEq)) continue;
+    if (two('=', '=', Tok::EqEq)) continue;
+    if (two('!', '=', Tok::NotEq)) continue;
+    if (two('<', '=', Tok::LessEq)) continue;
+    if (two('&', '&', Tok::AndAnd)) continue;
+    if (two('|', '|', Tok::OrOr)) continue;
+
+    Tok kind;
+    switch (c) {
+      case '{': kind = Tok::LBrace; break;
+      case '}': kind = Tok::RBrace; break;
+      case '(': kind = Tok::LParen; break;
+      case ')': kind = Tok::RParen; break;
+      case '[': kind = Tok::LBracket; break;
+      case ']': kind = Tok::RBracket; break;
+      case ';': kind = Tok::Semi; break;
+      case ':': kind = Tok::Colon; break;
+      case ',': kind = Tok::Comma; break;
+      case '?': kind = Tok::Query; break;
+      case '!': kind = Tok::Bang; break;
+      case '<': kind = Tok::Less; break;
+      case '+': kind = Tok::Plus; break;
+      case '=': kind = Tok::Eq; break;
+      case '-': kind = Tok::Minus; break;
+      default: {
+        out.error = std::string("unexpected character '") + c + "'";
+        out.error_line = line;
+        out.error_col = col;
+        out.tokens.push_back({Tok::End, {}, line, col});
+        return out;
+      }
+    }
+    std::size_t start = i;
+    advance(1);
+    push(kind, start, 1);
+  }
+  out.tokens.push_back({Tok::End, {}, line, col});
+  return out;
+}
+
+}  // namespace ccref::dsl

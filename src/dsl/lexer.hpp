@@ -1,0 +1,68 @@
+// Lexer for the CSP-like protocol description language.
+//
+// The surface syntax matches ir::print's output, so protocols round-trip
+// through text. Tokens carry source positions for diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccref::dsl {
+
+enum class Tok : std::uint8_t {
+  Ident,     // states, variables, messages, keywords are contextual
+  Int,       // decimal literal
+  LBrace,    // {
+  RBrace,    // }
+  LParen,    // (
+  RParen,    // )
+  LBracket,  // [
+  RBracket,  // ]
+  Semi,      // ;
+  Colon,     // :
+  Comma,     // ,
+  Query,     // ?
+  Bang,      // !
+  Arrow,     // ->
+  Assign,    // :=
+  PlusEq,    // +=
+  MinusEq,   // -=
+  Eq,        // =  (variable initializers)
+  EqEq,      // ==
+  NotEq,     // !=
+  LessEq,    // <=
+  Less,      // <
+  Plus,      // +
+  Minus,     // -
+  AndAnd,    // &&
+  OrOr,      // ||
+  End,       // end of input
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string_view text;  // into the source buffer
+  int line = 1;
+  int col = 1;
+
+  [[nodiscard]] bool is(Tok k) const { return kind == k; }
+  [[nodiscard]] bool is_ident(std::string_view word) const {
+    return kind == Tok::Ident && text == word;
+  }
+};
+
+struct LexResult {
+  std::vector<Token> tokens;  // always ends with Tok::End
+  std::string error;          // non-empty on lexical errors
+  int error_line = 0;
+  int error_col = 0;
+};
+
+/// Tokenize `source`. `//` comments run to end of line.
+[[nodiscard]] LexResult lex(std::string_view source);
+
+[[nodiscard]] const char* token_name(Tok kind);
+
+}  // namespace ccref::dsl

@@ -1,0 +1,48 @@
+// Recursive-descent parser for the protocol description language.
+//
+// The grammar (matching ir::print's output):
+//
+//   file      := 'protocol' IDENT ';' message* home remote
+//   message   := 'message' IDENT ('(' type (',' type)* ')')? ';'
+//   home      := 'home' IDENT '{' (vardecl | statedecl)* '}'
+//   remote    := 'remote' IDENT '{' (vardecl | statedecl)* '}'
+//   vardecl   := 'var' IDENT ':' type ('mod' INT)? ('=' INT)? ';'
+//   statedecl := ('state'|'internal') IDENT 'initial'? '{' guard* '}'
+//   guard     := ('[' expr ']')? (tauguard | commguard)
+//   tauguard  := 'tau' IDENT? action? '->' IDENT
+//   commguard := peer ('?' | '!') IDENT args? action? '->' IDENT
+//   peer      := 'h' | 'r' '(' ('any' IDENT? | 'pick' expr ('as' IDENT)?
+//                              | expr) ')'
+//   args      := '(' item (',' item)* ')'     // exprs on '!', binders on '?'
+//   action    := '{' stmt (';' stmt)* '}'
+//   stmt      := 'skip' | IDENT ':=' expr | IDENT ('+='|'-=') '{' expr '}'
+//
+// Expressions use C-like precedence: || < && < (== != < <= in) < (+ -) <
+// unary '!' < primary. `x in s` is set membership; `{}` is the empty set;
+// `node(K)` is a node-id literal; `self` is the remote's own id.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/process.hpp"
+
+namespace ccref::dsl {
+
+struct ParseResult {
+  std::optional<ir::Protocol> protocol;
+  std::vector<std::string> errors;  // "line:col: message"
+
+  [[nodiscard]] bool ok() const {
+    return protocol.has_value() && errors.empty();
+  }
+  [[nodiscard]] std::string error_text() const;
+};
+
+[[nodiscard]] ParseResult parse(std::string_view source);
+
+/// Parse a .csp file from disk; IO failures become parse errors.
+[[nodiscard]] ParseResult parse_file(const std::string& path);
+
+}  // namespace ccref::dsl

@@ -1,0 +1,233 @@
+#include "ir/builder.hpp"
+
+#include <map>
+
+#include "support/contracts.hpp"
+
+namespace ccref::ir {
+
+// ---- StateB ----------------------------------------------------------------
+
+StateB& StateB::initial() {
+  CCREF_REQUIRE_MSG(owner_->initial_.empty() || owner_->initial_ == name_,
+                    "two states marked initial");
+  owner_->initial_ = name_;
+  return *this;
+}
+
+// ---- InputB ----------------------------------------------------------------
+
+InputB::InputB(std::string state, MsgId msg, Role role)
+    : state_(std::move(state)) {
+  g_.msg = msg;
+  // Remote inputs default to "from home"; the home has no default source.
+  g_.from.kind =
+      role == Role::Remote ? PeerSrc::Kind::Home : PeerSrc::Kind::Any;
+}
+
+InputB& InputB::from_home() {
+  g_.from = {PeerSrc::Kind::Home, nullptr};
+  return *this;
+}
+InputB& InputB::from_any(VarId bind_peer) {
+  g_.from = {PeerSrc::Kind::Any, nullptr};
+  g_.bind_peer = bind_peer;
+  return *this;
+}
+InputB& InputB::from(ExprP node) {
+  g_.from = {PeerSrc::Kind::Expr, std::move(node)};
+  return *this;
+}
+InputB& InputB::when(ExprP cond) {
+  g_.cond = std::move(cond);
+  return *this;
+}
+InputB& InputB::bind(std::vector<VarId> payload_vars) {
+  g_.bind_payload = std::move(payload_vars);
+  return *this;
+}
+InputB& InputB::act(StmtP action) {
+  g_.action = std::move(action);
+  return *this;
+}
+InputB& InputB::go(std::string next_state) {
+  next_ = std::move(next_state);
+  return *this;
+}
+InputB& InputB::label(std::string text) {
+  g_.label = std::move(text);
+  return *this;
+}
+
+// ---- OutputB ---------------------------------------------------------------
+
+OutputB::OutputB(std::string state, MsgId msg, Role role)
+    : state_(std::move(state)) {
+  g_.msg = msg;
+  g_.to.kind = role == Role::Remote ? PeerSel::Kind::Home
+                                    : PeerSel::Kind::Expr;  // must be set
+}
+
+OutputB& OutputB::to_home() {
+  g_.to = {PeerSel::Kind::Home, nullptr};
+  return *this;
+}
+OutputB& OutputB::to(ExprP node) {
+  g_.to = {PeerSel::Kind::Expr, std::move(node)};
+  return *this;
+}
+OutputB& OutputB::to_any_in(ExprP set, VarId bind_peer) {
+  g_.to = {PeerSel::Kind::AnyInSet, std::move(set)};
+  g_.bind_peer = bind_peer;
+  return *this;
+}
+OutputB& OutputB::when(ExprP cond) {
+  g_.cond = std::move(cond);
+  return *this;
+}
+OutputB& OutputB::pay(std::vector<ExprP> payload) {
+  g_.payload = std::move(payload);
+  return *this;
+}
+OutputB& OutputB::act(StmtP action) {
+  g_.action = std::move(action);
+  return *this;
+}
+OutputB& OutputB::go(std::string next_state) {
+  next_ = std::move(next_state);
+  return *this;
+}
+OutputB& OutputB::label(std::string text) {
+  g_.label = std::move(text);
+  return *this;
+}
+
+// ---- TauB ------------------------------------------------------------------
+
+TauB::TauB(std::string state, std::string label) : state_(std::move(state)) {
+  g_.label = std::move(label);
+}
+
+TauB& TauB::when(ExprP cond) {
+  g_.cond = std::move(cond);
+  return *this;
+}
+TauB& TauB::act(StmtP action) {
+  g_.action = std::move(action);
+  return *this;
+}
+TauB& TauB::go(std::string next_state) {
+  next_ = std::move(next_state);
+  return *this;
+}
+
+// ---- ProcessBuilder --------------------------------------------------------
+
+VarId ProcessBuilder::var(std::string name, Type type, Value init,
+                          std::uint32_t bound) {
+  for (const auto& v : vars_)
+    CCREF_REQUIRE_MSG(v.name != name, "duplicate variable name");
+  vars_.push_back({std::move(name), type, init, bound});
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+StateB& ProcessBuilder::comm(std::string name) {
+  states_.push_back(StateB(this, std::move(name), StateKind::Comm));
+  return states_.back();
+}
+
+StateB& ProcessBuilder::internal(std::string name) {
+  states_.push_back(StateB(this, std::move(name), StateKind::Internal));
+  return states_.back();
+}
+
+InputB& ProcessBuilder::input(std::string state, MsgId msg) {
+  inputs_.push_back(InputB(std::move(state), msg, role_));
+  return inputs_.back();
+}
+
+OutputB& ProcessBuilder::output(std::string state, MsgId msg) {
+  outputs_.push_back(OutputB(std::move(state), msg, role_));
+  return outputs_.back();
+}
+
+TauB& ProcessBuilder::tau(std::string state, std::string label) {
+  taus_.push_back(TauB(std::move(state), std::move(label)));
+  return taus_.back();
+}
+
+Process ProcessBuilder::finish() const {
+  Process p;
+  p.name = name_;
+  p.role = role_;
+  p.vars = vars_;
+
+  std::map<std::string, StateId, std::less<>> ids;
+  for (const auto& sb : states_) {
+    CCREF_REQUIRE_MSG(!ids.contains(sb.name_), "duplicate state name");
+    ids.emplace(sb.name_, static_cast<StateId>(p.states.size()));
+    State s;
+    s.name = sb.name_;
+    s.kind = sb.kind_;
+    p.states.push_back(std::move(s));
+  }
+  CCREF_REQUIRE_MSG(!p.states.empty(), "process has no states");
+
+  auto resolve = [&](const std::string& name) -> StateId {
+    auto it = ids.find(name);
+    CCREF_REQUIRE_MSG(it != ids.end(), "guard references undeclared state");
+    return it->second;
+  };
+
+  for (const auto& ib : inputs_) {
+    InputGuard g = ib.g_;
+    CCREF_REQUIRE_MSG(!ib.next_.empty(), "input guard missing .go()");
+    g.next = resolve(ib.next_);
+    p.states[resolve(ib.state_)].inputs.push_back(std::move(g));
+  }
+  for (const auto& ob : outputs_) {
+    OutputGuard g = ob.g_;
+    CCREF_REQUIRE_MSG(!ob.next_.empty(), "output guard missing .go()");
+    CCREF_REQUIRE_MSG(
+        !(role_ == Role::Home && g.to.kind == PeerSel::Kind::Expr && !g.to.expr),
+        "home output guard missing .to()");
+    g.next = resolve(ob.next_);
+    p.states[resolve(ob.state_)].outputs.push_back(std::move(g));
+  }
+  for (const auto& tb : taus_) {
+    TauGuard g = tb.g_;
+    CCREF_REQUIRE_MSG(!tb.next_.empty(), "tau guard missing .go()");
+    g.next = resolve(tb.next_);
+    p.states[resolve(tb.state_)].taus.push_back(std::move(g));
+  }
+
+  p.initial = initial_.empty() ? 0 : resolve(initial_);
+  return p;
+}
+
+// ---- ProtocolBuilder -------------------------------------------------------
+
+ProtocolBuilder::ProtocolBuilder(std::string name)
+    : name_(std::move(name)),
+      home_(ProcessBuilder("h", Role::Home)),
+      remote_(ProcessBuilder("r", Role::Remote)) {}
+
+MsgId ProtocolBuilder::msg(std::string name, std::vector<Type> payload) {
+  CCREF_REQUIRE_MSG(payload.size() <= kMaxPayload, "payload too wide");
+  for (const auto& m : messages_)
+    CCREF_REQUIRE_MSG(m.name != name, "duplicate message name");
+  messages_.push_back({std::move(name), std::move(payload)});
+  CCREF_REQUIRE_MSG(messages_.size() <= 250, "too many message types");
+  return static_cast<MsgId>(messages_.size() - 1);
+}
+
+Protocol ProtocolBuilder::build() const {
+  Protocol p;
+  p.name = name_;
+  p.messages = messages_;
+  p.home = home_.finish();
+  p.remote = remote_.finish();
+  return p;
+}
+
+}  // namespace ccref::ir

@@ -1,0 +1,148 @@
+// Fluent construction API for rendezvous protocols.
+//
+// Guards reference states by *name* and are resolved when build() runs, so
+// protocols read top-to-bottom like the paper's figures:
+//
+//   ProtocolBuilder b("migratory");
+//   MsgId REQ = b.msg("req");
+//   auto& h = b.home();
+//   VarId o = h.var("o", Type::Node);
+//   h.comm("F").initial();
+//   h.input("F", REQ).from_any(j).go("G1");
+//   ...
+//   Protocol p = b.build();   // aborts on dangling names; run ir::validate
+//                             // for the full §2.4 restriction check
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "ir/process.hpp"
+
+namespace ccref::ir {
+
+class ProcessBuilder;
+
+class StateB {
+ public:
+  StateB& initial();
+
+ private:
+  friend class ProcessBuilder;
+  StateB(ProcessBuilder* owner, std::string name, StateKind kind)
+      : owner_(owner), name_(std::move(name)), kind_(kind) {}
+  ProcessBuilder* owner_;
+  std::string name_;
+  StateKind kind_;
+};
+
+class InputB {
+ public:
+  InputB& from_home();
+  InputB& from_any(VarId bind_peer = kNoVar);
+  InputB& from(ExprP node);
+  InputB& when(ExprP cond);
+  InputB& bind(std::vector<VarId> payload_vars);
+  InputB& act(StmtP action);
+  InputB& go(std::string next_state);
+  InputB& label(std::string text);
+
+ private:
+  friend class ProcessBuilder;
+  InputB(std::string state, MsgId msg, Role role);
+  std::string state_;
+  InputGuard g_;
+  std::string next_;
+};
+
+class OutputB {
+ public:
+  OutputB& to_home();
+  OutputB& to(ExprP node);
+  OutputB& to_any_in(ExprP set, VarId bind_peer = kNoVar);
+  OutputB& when(ExprP cond);
+  OutputB& pay(std::vector<ExprP> payload);
+  OutputB& act(StmtP action);
+  OutputB& go(std::string next_state);
+  OutputB& label(std::string text);
+
+ private:
+  friend class ProcessBuilder;
+  OutputB(std::string state, MsgId msg, Role role);
+  std::string state_;
+  OutputGuard g_;
+  std::string next_;
+};
+
+class TauB {
+ public:
+  TauB& when(ExprP cond);
+  TauB& act(StmtP action);
+  TauB& go(std::string next_state);
+
+ private:
+  friend class ProcessBuilder;
+  TauB(std::string state, std::string label);
+  std::string state_;
+  TauGuard g_;
+  std::string next_;
+};
+
+class ProcessBuilder {
+ public:
+  /// Declare a variable; returns its id for use in expressions.
+  VarId var(std::string name, Type type, Value init = 0,
+            std::uint32_t bound = 2);
+
+  /// Declare states. The first declared state is initial unless .initial()
+  /// marks another.
+  StateB& comm(std::string name);
+  StateB& internal(std::string name);
+
+  /// Add guards to a named state (state must be declared first or later —
+  /// names resolve at build()).
+  InputB& input(std::string state, MsgId msg);
+  OutputB& output(std::string state, MsgId msg);
+  TauB& tau(std::string state, std::string label);
+
+  [[nodiscard]] Role role() const { return role_; }
+
+ private:
+  friend class ProtocolBuilder;
+  friend class StateB;
+  ProcessBuilder(std::string name, Role role)
+      : name_(std::move(name)), role_(role) {}
+  [[nodiscard]] Process finish() const;
+
+  std::string name_;
+  Role role_;
+  std::vector<VarDecl> vars_;
+  std::deque<StateB> states_;
+  std::deque<InputB> inputs_;
+  std::deque<OutputB> outputs_;
+  std::deque<TauB> taus_;
+  std::string initial_;
+};
+
+class ProtocolBuilder {
+ public:
+  explicit ProtocolBuilder(std::string name);
+
+  /// Declare a message type with payload field types.
+  MsgId msg(std::string name, std::vector<Type> payload = {});
+
+  [[nodiscard]] ProcessBuilder& home() { return home_; }
+  [[nodiscard]] ProcessBuilder& remote() { return remote_; }
+
+  /// Resolve names and produce the protocol. Aborts (contract failure) on
+  /// dangling state names; semantic restrictions are ir::validate's job.
+  [[nodiscard]] Protocol build() const;
+
+ private:
+  std::string name_;
+  std::vector<MsgDecl> messages_;
+  ProcessBuilder home_;
+  ProcessBuilder remote_;
+};
+
+}  // namespace ccref::ir

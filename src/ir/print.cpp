@@ -1,0 +1,140 @@
+#include "ir/print.hpp"
+
+#include "support/strings.hpp"
+
+namespace ccref::ir {
+
+namespace {
+
+std::string var_name(const Process& proc, VarId v) {
+  return v < proc.vars.size() ? proc.vars[v].name : strf("v%u", v);
+}
+
+std::string peer_src(const PeerSrc& src, const Process& proc,
+                     VarId bind_peer) {
+  switch (src.kind) {
+    case PeerSrc::Kind::Home:
+      return "h";
+    case PeerSrc::Kind::Any:
+      return bind_peer == kNoVar
+                 ? "r(any)"
+                 : strf("r(any %s)", var_name(proc, bind_peer).c_str());
+    case PeerSrc::Kind::Expr:
+      return "r(" + to_string(*src.expr, proc) + ")";
+  }
+  return "?";
+}
+
+std::string peer_sel(const PeerSel& sel, const Process& proc,
+                     VarId bind_peer) {
+  switch (sel.kind) {
+    case PeerSel::Kind::Home:
+      return "h";
+    case PeerSel::Kind::Expr:
+      return "r(" + to_string(*sel.expr, proc) + ")";
+    case PeerSel::Kind::AnyInSet: {
+      std::string set = to_string(*sel.expr, proc);
+      return bind_peer == kNoVar
+                 ? strf("r(pick %s)", set.c_str())
+                 : strf("r(pick %s as %s)", set.c_str(),
+                        var_name(proc, bind_peer).c_str());
+    }
+  }
+  return "?";
+}
+
+std::string clause_suffix(const StmtP& action, StateId next,
+                          const Process& proc, const std::string& label) {
+  std::string out;
+  if (action && !is_nop(*action))
+    out += " { " + to_string(*action, proc) + " }";
+  out += " -> " + proc.state(next).name;
+  if (!label.empty()) out += "   // " + label;
+  return out;
+}
+
+std::string cond_prefix(const ExprP& cond, const Process& proc) {
+  return cond ? "[" + to_string(*cond, proc) + "] " : "";
+}
+
+}  // namespace
+
+std::string to_string(const InputGuard& g, const Process& proc,
+                      const Protocol& protocol) {
+  std::string binds;
+  if (!g.bind_payload.empty()) {
+    std::vector<std::string> names;
+    for (VarId v : g.bind_payload)
+      names.push_back(v == kNoVar ? "_" : var_name(proc, v));
+    binds = "(" + join(names, ", ") + ")";
+  }
+  return cond_prefix(g.cond, proc) + peer_src(g.from, proc, g.bind_peer) +
+         "?" + protocol.message(g.msg).name + binds +
+         clause_suffix(g.action, g.next, proc, g.label);
+}
+
+std::string to_string(const OutputGuard& g, const Process& proc,
+                      const Protocol& protocol) {
+  std::string pay;
+  if (!g.payload.empty()) {
+    std::vector<std::string> parts;
+    for (const auto& e : g.payload) parts.push_back(to_string(*e, proc));
+    pay = "(" + join(parts, ", ") + ")";
+  }
+  return cond_prefix(g.cond, proc) + peer_sel(g.to, proc, g.bind_peer) + "!" +
+         protocol.message(g.msg).name + pay +
+         clause_suffix(g.action, g.next, proc, g.label);
+}
+
+std::string to_string(const TauGuard& g, const Process& proc) {
+  std::string name = g.label.empty() ? "tau" : "tau " + g.label;
+  return cond_prefix(g.cond, proc) + name +
+         clause_suffix(g.action, g.next, proc, "");
+}
+
+std::string to_string(const Process& proc, const Protocol& protocol) {
+  std::string out =
+      strf("%s %s {\n", proc.role == Role::Home ? "home" : "remote",
+           proc.name.c_str());
+  for (std::size_t i = 0; i < proc.vars.size(); ++i) {
+    const VarDecl& v = proc.vars[i];
+    out += strf("  var %s: %s", v.name.c_str(),
+                std::string(type_name(v.type)).c_str());
+    if (v.type == Type::Int) out += strf(" mod %u", v.bound);
+    if (v.init != 0) out += strf(" = %llu", (unsigned long long)v.init);
+    out += ";\n";
+  }
+  for (std::size_t i = 0; i < proc.states.size(); ++i) {
+    const State& s = proc.states[i];
+    out += strf("  %s %s%s {\n",
+                s.kind == StateKind::Internal ? "internal" : "state",
+                s.name.c_str(),
+                static_cast<StateId>(i) == proc.initial ? " initial" : "");
+    for (const auto& g : s.inputs)
+      out += "    " + to_string(g, proc, protocol) + "\n";
+    for (const auto& g : s.outputs)
+      out += "    " + to_string(g, proc, protocol) + "\n";
+    for (const auto& g : s.taus) out += "    " + to_string(g, proc) + "\n";
+    out += "  }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_string(const Protocol& protocol) {
+  std::string out = strf("protocol %s;\n", protocol.name.c_str());
+  for (const auto& m : protocol.messages) {
+    out += "message " + m.name;
+    if (!m.payload.empty()) {
+      std::vector<std::string> parts;
+      for (Type t : m.payload) parts.emplace_back(type_name(t));
+      out += "(" + join(parts, ", ") + ")";
+    }
+    out += ";\n";
+  }
+  out += "\n" + to_string(protocol.home, protocol);
+  out += "\n" + to_string(protocol.remote, protocol);
+  return out;
+}
+
+}  // namespace ccref::ir

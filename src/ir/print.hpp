@@ -1,0 +1,23 @@
+// Pretty-printer: renders a Protocol back to the textual DSL syntax
+// (round-trips through dsl::parse). Used by examples, goldens, and error
+// reporting.
+#pragma once
+
+#include <string>
+
+#include "ir/process.hpp"
+
+namespace ccref::ir {
+
+[[nodiscard]] std::string to_string(const Protocol& protocol);
+[[nodiscard]] std::string to_string(const Process& proc,
+                                    const Protocol& protocol);
+
+/// One-line rendering of a guard, e.g. "r(any j)?req -> GRANT".
+[[nodiscard]] std::string to_string(const InputGuard& g, const Process& proc,
+                                    const Protocol& protocol);
+[[nodiscard]] std::string to_string(const OutputGuard& g, const Process& proc,
+                                    const Protocol& protocol);
+[[nodiscard]] std::string to_string(const TauGuard& g, const Process& proc);
+
+}  // namespace ccref::ir

@@ -1,0 +1,24 @@
+#include "ir/process.hpp"
+
+namespace ccref::ir {
+
+VarId Process::find_var(std::string_view name) const {
+  for (std::size_t i = 0; i < vars.size(); ++i)
+    if (vars[i].name == name) return static_cast<VarId>(i);
+  return kNoVar;
+}
+
+StateId Process::find_state(std::string_view name) const {
+  for (std::size_t i = 0; i < states.size(); ++i)
+    if (states[i].name == name) return static_cast<StateId>(i);
+  return kNoState;
+}
+
+MsgId Protocol::find_message(std::string_view name) const {
+  for (std::size_t i = 0; i < messages.size(); ++i)
+    if (messages[i].name == name) return static_cast<MsgId>(i);
+  CCREF_REQUIRE_MSG(false, "unknown message name");
+  return 0;
+}
+
+}  // namespace ccref::ir

@@ -1,0 +1,125 @@
+// Process and Protocol IR: the rendezvous-level specification the designer
+// writes and the refinement procedure consumes.
+//
+// A protocol is a star (paper §2): one *home* process `h` plus `n` identical
+// instances of one *remote* template `r(i)`. States are either *internal*
+// (only autonomous τ moves, e.g. the CPU deciding to read/write or evict) or
+// *communication* (rendezvous guards offered). The paper's syntactic
+// restrictions (§2.4) are enforced by ir::validate:
+//   - the home may mix generalized input and output guards,
+//   - a remote communication state is either *active* (exactly one output
+//     guard, nothing else) or *passive* (input guards plus optional τs).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+#include "ir/stmt.hpp"
+#include "ir/types.hpp"
+
+namespace ccref::ir {
+
+enum class Role : std::uint8_t { Home, Remote };
+
+/// Output-guard destination.
+///   Home     — the home process (only valid in remote processes).
+///   Expr     — a specific remote r(e) where e is a Node expression
+///              (e.g. r(o)!inv — invalidate the current owner).
+///   AnyInSet — any member of a NodeSet expression (nondeterministic choice,
+///              e.g. pick a sharer from the copyset to invalidate).
+struct PeerSel {
+  enum class Kind : std::uint8_t { Home, Expr, AnyInSet } kind = Kind::Home;
+  ExprP expr;  // Node for Expr, NodeSet for AnyInSet
+};
+
+/// Input-guard source.
+///   Home — from the home (remote processes).
+///   Any  — from any remote r(i), binding i (home's generalized input).
+///   Expr — from the specific remote r(e) (e.g. r(o)?LR).
+struct PeerSrc {
+  enum class Kind : std::uint8_t { Home, Any, Expr } kind = Kind::Home;
+  ExprP expr;  // Node expression for Expr
+};
+
+/// Passive side of a rendezvous: `from?msg(binds)` with optional condition.
+struct InputGuard {
+  ExprP cond;                       // nullptr = true
+  PeerSrc from;
+  MsgId msg = 0;
+  std::vector<VarId> bind_payload;  // one var per payload field (may be kNoVar)
+  VarId bind_peer = kNoVar;         // receives the sender id (Any sources)
+  StmtP action;                     // nullptr = nop; runs after binding
+  StateId next = kNoState;
+  std::string label;
+};
+
+/// Active side of a rendezvous: `to!msg(payload)` with optional condition.
+struct OutputGuard {
+  ExprP cond;
+  PeerSel to;
+  MsgId msg = 0;
+  std::vector<ExprP> payload;
+  VarId bind_peer = kNoVar;  // receives the chosen target (AnyInSet targets)
+  StmtP action;              // runs when the rendezvous completes
+  StateId next = kNoState;
+  std::string label;
+};
+
+/// Autonomous move (no partner): models CPU decisions such as `rw`/`evict`.
+struct TauGuard {
+  ExprP cond;
+  StmtP action;
+  StateId next = kNoState;
+  std::string label;
+};
+
+enum class StateKind : std::uint8_t { Internal, Comm };
+
+struct State {
+  std::string name;
+  StateKind kind = StateKind::Comm;
+  std::vector<InputGuard> inputs;
+  std::vector<OutputGuard> outputs;
+  std::vector<TauGuard> taus;
+};
+
+struct Process {
+  std::string name;
+  Role role = Role::Home;
+  std::vector<VarDecl> vars;
+  std::vector<State> states;
+  StateId initial = 0;
+
+  [[nodiscard]] const State& state(StateId id) const {
+    CCREF_REQUIRE(id < states.size());
+    return states[id];
+  }
+  /// Find a variable by name; returns kNoVar if absent.
+  [[nodiscard]] VarId find_var(std::string_view name) const;
+  /// Find a state by name; returns kNoState if absent.
+  [[nodiscard]] StateId find_state(std::string_view name) const;
+
+  /// True if a remote communication state is *active* (single output guard).
+  [[nodiscard]] static bool is_active_state(const State& s) {
+    return s.kind == StateKind::Comm && s.outputs.size() == 1 &&
+           s.inputs.empty() && s.taus.empty();
+  }
+};
+
+/// A full rendezvous protocol: message vocabulary, home, remote template.
+struct Protocol {
+  std::string name;
+  std::vector<MsgDecl> messages;
+  Process home;
+  Process remote;
+
+  [[nodiscard]] const MsgDecl& message(MsgId id) const {
+    CCREF_REQUIRE(id < messages.size());
+    return messages[id];
+  }
+  [[nodiscard]] MsgId find_message(std::string_view name) const;
+};
+
+}  // namespace ccref::ir

@@ -1,0 +1,141 @@
+#include "ir/stmt.hpp"
+
+#include "ir/process.hpp"
+#include "ir/store.hpp"
+#include "support/strings.hpp"
+
+namespace ccref::ir {
+
+namespace {
+
+/// Floor modulus: keeps Int assignments inside [0, bound) even when the
+/// expression result went negative (e.g. `x - 1` at zero wraps to bound-1).
+Value reduce(std::int64_t v, std::uint32_t bound) {
+  CCREF_ASSERT(bound > 0);
+  std::int64_t m = v % static_cast<std::int64_t>(bound);
+  if (m < 0) m += bound;
+  return static_cast<Value>(m);
+}
+
+}  // namespace
+
+void exec(const Stmt& s, Store& store, std::span<const VarDecl> decls,
+          const EvalCtx& ctx) {
+  using K = Stmt::Kind;
+  switch (s.kind) {
+    case K::Nop:
+      return;
+    case K::Assign: {
+      CCREF_REQUIRE(s.var < decls.size());
+      std::int64_t v = eval(*s.a, store, ctx);
+      const VarDecl& d = decls[s.var];
+      store.set(s.var, d.type == Type::Int
+                           ? reduce(v, d.bound)
+                           : static_cast<Value>(v));
+      return;
+    }
+    case K::SetAdd: {
+      std::int64_t node = eval(*s.a, store, ctx);
+      CCREF_ASSERT(node >= 0 && node < kMaxNodes);
+      NodeSet set(store.get(s.var));
+      set.add(static_cast<NodeId>(node));
+      store.set(s.var, set.bits());
+      return;
+    }
+    case K::SetRemove: {
+      std::int64_t node = eval(*s.a, store, ctx);
+      CCREF_ASSERT(node >= 0 && node < kMaxNodes);
+      NodeSet set(store.get(s.var));
+      set.remove(static_cast<NodeId>(node));
+      store.set(s.var, set.bits());
+      return;
+    }
+    case K::Seq:
+      for (const auto& child : s.body) exec(*child, store, decls, ctx);
+      return;
+  }
+  CCREF_UNREACHABLE("bad Stmt::Kind");
+}
+
+bool stmt_equal(const Stmt& x, const Stmt& y) {
+  if (x.kind != y.kind || x.var != y.var) return false;
+  if (!!x.a != !!y.a) return false;
+  if (x.a && !expr_equal(*x.a, *y.a)) return false;
+  if (x.body.size() != y.body.size()) return false;
+  for (std::size_t i = 0; i < x.body.size(); ++i)
+    if (!stmt_equal(*x.body[i], *y.body[i])) return false;
+  return true;
+}
+
+bool is_nop(const Stmt& s) {
+  if (s.kind == Stmt::Kind::Nop) return true;
+  if (s.kind == Stmt::Kind::Seq) {
+    for (const auto& child : s.body)
+      if (!is_nop(*child)) return false;
+    return true;
+  }
+  return false;
+}
+
+std::string to_string(const Stmt& s, const Process& proc) {
+  using K = Stmt::Kind;
+  auto var_name = [&](VarId v) {
+    return v < proc.vars.size() ? proc.vars[v].name : strf("v%u", v);
+  };
+  switch (s.kind) {
+    case K::Nop:
+      return "skip";
+    case K::Assign:
+      return var_name(s.var) + " := " + to_string(*s.a, proc);
+    case K::SetAdd:
+      return var_name(s.var) + " += {" + to_string(*s.a, proc) + "}";
+    case K::SetRemove:
+      return var_name(s.var) + " -= {" + to_string(*s.a, proc) + "}";
+    case K::Seq: {
+      std::vector<std::string> parts;
+      parts.reserve(s.body.size());
+      for (const auto& child : s.body)
+        parts.push_back(to_string(*child, proc));
+      return join(parts, "; ");
+    }
+  }
+  CCREF_UNREACHABLE("bad Stmt::Kind");
+}
+
+namespace st {
+
+StmtP nop() {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::Nop;
+  return s;
+}
+StmtP assign(VarId var, ExprP value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::Assign;
+  s->var = var;
+  s->a = std::move(value);
+  return s;
+}
+StmtP set_add(VarId var, ExprP node) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::SetAdd;
+  s->var = var;
+  s->a = std::move(node);
+  return s;
+}
+StmtP set_remove(VarId var, ExprP node) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::SetRemove;
+  s->var = var;
+  s->a = std::move(node);
+  return s;
+}
+StmtP seq(std::vector<StmtP> body) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::Seq;
+  s->body = std::move(body);
+  return s;
+}
+
+}  // namespace st
+}  // namespace ccref::ir

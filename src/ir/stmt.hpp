@@ -1,0 +1,58 @@
+// Statement AST for rendezvous actions.
+//
+// Actions run atomically when a rendezvous (or τ move) fires. Like Expr,
+// statements are introspectable trees so the refinement procedure can reason
+// about them and the printer can render protocol listings.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+#include "ir/types.hpp"
+
+namespace ccref::ir {
+
+struct Stmt;
+using StmtP = std::shared_ptr<const Stmt>;
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    Nop,
+    Assign,     // var := a  (Int assigns reduce modulo the var's bound)
+    SetAdd,     // var += {a}  (NodeSet var, Node expr)
+    SetRemove,  // var -= {a}
+    Seq,        // body in order
+  };
+
+  Kind kind = Kind::Nop;
+  VarId var = kNoVar;
+  ExprP a;
+  std::vector<StmtP> body;
+};
+
+/// Execute a statement, mutating `store`. `decls` supplies Int bounds for
+/// modular reduction on assignment.
+void exec(const Stmt& s, Store& store, std::span<const VarDecl> decls,
+          const EvalCtx& ctx);
+
+[[nodiscard]] bool stmt_equal(const Stmt& x, const Stmt& y);
+
+[[nodiscard]] std::string to_string(const Stmt& s, const Process& proc);
+
+/// True if the statement tree is a no-op (Nop or empty Seq of Nops).
+[[nodiscard]] bool is_nop(const Stmt& s);
+
+namespace st {
+
+[[nodiscard]] StmtP nop();
+[[nodiscard]] StmtP assign(VarId var, ExprP value);
+[[nodiscard]] StmtP set_add(VarId var, ExprP node);
+[[nodiscard]] StmtP set_remove(VarId var, ExprP node);
+[[nodiscard]] StmtP seq(std::vector<StmtP> body);
+
+}  // namespace st
+
+}  // namespace ccref::ir

@@ -1,0 +1,56 @@
+// Variable store: the data state of one process instance.
+//
+// A Store is a flat vector of canonical Values matching a declared variable
+// list. It is the unit of state the rendezvous and asynchronous semantics
+// snapshot, encode into the model checker's visited set, and mutate through
+// Stmt execution.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ir/types.hpp"
+#include "support/bytes.hpp"
+#include "support/contracts.hpp"
+
+namespace ccref::ir {
+
+class Store {
+ public:
+  Store() = default;
+
+  /// Initialize from declarations (values start at each decl's init).
+  explicit Store(std::span<const VarDecl> decls);
+
+  [[nodiscard]] Value get(VarId v) const {
+    CCREF_REQUIRE(v < values_.size());
+    return values_[v];
+  }
+
+  void set(VarId v, Value value) {
+    CCREF_REQUIRE(v < values_.size());
+    values_[v] = value;
+  }
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  void encode(ByteSink& sink) const {
+    for (Value v : values_) sink.varint(v);
+  }
+
+  void decode(ByteSource& src) {
+    for (Value& v : values_) v = src.varint();
+  }
+
+  friend bool operator==(const Store&, const Store&) = default;
+
+ private:
+  std::vector<Value> values_;
+};
+
+inline Store::Store(std::span<const VarDecl> decls) {
+  values_.reserve(decls.size());
+  for (const auto& d : decls) values_.push_back(d.init);
+}
+
+}  // namespace ccref::ir

@@ -1,0 +1,64 @@
+// Core value/type vocabulary of the protocol IR.
+//
+// Protocols manipulate four value types:
+//   Bool    — guard conditions, dirty flags;
+//   Int     — abstract cache-line data (bounded so state spaces stay finite);
+//   Node    — remote-node identities (the paper's `o`, `i`, `j`);
+//   NodeSet — directory copysets for invalidate-style protocols.
+//
+// All values share one canonical 64-bit representation so stores, message
+// payloads, and state encodings stay uniform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/node_set.hpp"
+
+namespace ccref::ir {
+
+enum class Type : std::uint8_t { Bool, Int, Node, NodeSet };
+
+[[nodiscard]] constexpr std::string_view type_name(Type t) {
+  switch (t) {
+    case Type::Bool: return "bool";
+    case Type::Int: return "int";
+    case Type::Node: return "node";
+    case Type::NodeSet: return "nodeset";
+  }
+  return "?";
+}
+
+/// Canonical value representation. Bool: 0/1. Int: [0, bound). Node: id.
+/// NodeSet: bitmask.
+using Value = std::uint64_t;
+
+using VarId = std::uint16_t;
+using StateId = std::uint16_t;
+using MsgId = std::uint8_t;
+
+inline constexpr VarId kNoVar = 0xffff;
+inline constexpr StateId kNoState = 0xffff;
+
+/// Declared process-local variable.
+struct VarDecl {
+  std::string name;
+  Type type = Type::Int;
+  Value init = 0;
+  /// For Int variables: assignments reduce modulo this bound, keeping the
+  /// reachable state space finite (paper protocols use tiny data domains).
+  std::uint32_t bound = 2;
+};
+
+/// Message type declared by a protocol: a name plus payload field types.
+struct MsgDecl {
+  std::string name;
+  std::vector<Type> payload;
+};
+
+/// Maximum payload fields per message (cache-line data + one id is plenty).
+inline constexpr std::size_t kMaxPayload = 2;
+
+}  // namespace ccref::ir

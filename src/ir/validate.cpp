@@ -1,0 +1,427 @@
+#include "ir/validate.hpp"
+
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace ccref::ir {
+
+namespace {
+
+struct Checker {
+  const Protocol& protocol;
+  std::vector<Diag> diags;
+
+  void error(std::string where, std::string text) {
+    diags.push_back({Diag::Severity::Error, std::move(where),
+                     std::move(text)});
+  }
+  void warn(std::string where, std::string text) {
+    diags.push_back({Diag::Severity::Warning, std::move(where),
+                     std::move(text)});
+  }
+
+  void expect_type(const ExprP& e, const Process& proc, Type want,
+                   const std::string& where, const char* what) {
+    if (!e) {
+      error(where, strf("%s is missing", what));
+      return;
+    }
+    std::string err;
+    auto got = type_of(*e, proc, &err);
+    if (!got) {
+      error(where, strf("%s: %s", what, err.c_str()));
+    } else if (*got != want) {
+      error(where, strf("%s has type %s, expected %s", what,
+                        std::string(type_name(*got)).c_str(),
+                        std::string(type_name(want)).c_str()));
+    }
+  }
+
+  void check_cond(const ExprP& cond, const Process& proc,
+                  const std::string& where) {
+    if (cond) expect_type(cond, proc, Type::Bool, where, "condition");
+  }
+
+  void check_stmt(const StmtP& stmt, const Process& proc,
+                  const std::string& where) {
+    if (!stmt) return;
+    check_stmt_inner(*stmt, proc, where);
+  }
+
+  void check_stmt_inner(const Stmt& s, const Process& proc,
+                        const std::string& where) {
+    using K = Stmt::Kind;
+    switch (s.kind) {
+      case K::Nop:
+        return;
+      case K::Assign: {
+        if (s.var >= proc.vars.size()) {
+          error(where, "assignment to undeclared variable");
+          return;
+        }
+        expect_type(s.a, proc, proc.vars[s.var].type, where,
+                    "assignment value");
+        return;
+      }
+      case K::SetAdd:
+      case K::SetRemove: {
+        if (s.var >= proc.vars.size() ||
+            proc.vars[s.var].type != Type::NodeSet) {
+          error(where, "set update on non-NodeSet variable");
+          return;
+        }
+        expect_type(s.a, proc, Type::Node, where, "set element");
+        return;
+      }
+      case K::Seq:
+        for (const auto& child : s.body)
+          check_stmt_inner(*child, proc, where);
+        return;
+    }
+  }
+
+  void check_msg_payload(MsgId msg, const std::vector<ExprP>& payload,
+                         const Process& proc, const std::string& where) {
+    if (msg >= protocol.messages.size()) {
+      error(where, "guard uses undeclared message");
+      return;
+    }
+    const MsgDecl& decl = protocol.messages[msg];
+    if (payload.size() != decl.payload.size()) {
+      error(where, strf("message '%s' expects %zu payload fields, guard "
+                        "supplies %zu",
+                        decl.name.c_str(), decl.payload.size(),
+                        payload.size()));
+      return;
+    }
+    for (std::size_t i = 0; i < payload.size(); ++i)
+      expect_type(payload[i], proc, decl.payload[i], where, "payload field");
+  }
+
+  void check_msg_binds(MsgId msg, const std::vector<VarId>& binds,
+                       const Process& proc, const std::string& where) {
+    if (msg >= protocol.messages.size()) {
+      error(where, "guard uses undeclared message");
+      return;
+    }
+    const MsgDecl& decl = protocol.messages[msg];
+    if (!binds.empty() && binds.size() != decl.payload.size()) {
+      error(where, strf("message '%s' has %zu payload fields, guard binds "
+                        "%zu",
+                        decl.name.c_str(), decl.payload.size(),
+                        binds.size()));
+      return;
+    }
+    for (std::size_t i = 0; i < binds.size(); ++i) {
+      if (binds[i] == kNoVar) continue;  // explicitly ignored field
+      if (binds[i] >= proc.vars.size()) {
+        error(where, "payload binds undeclared variable");
+      } else if (proc.vars[binds[i]].type != decl.payload[i]) {
+        error(where, "payload binding type mismatch");
+      }
+    }
+  }
+
+  void check_bind_peer(VarId bind, const Process& proc,
+                       const std::string& where) {
+    if (bind == kNoVar) return;
+    if (bind >= proc.vars.size() || proc.vars[bind].type != Type::Node)
+      error(where, "bind_peer variable must have type node");
+  }
+
+  void check_process(const Process& proc) {
+    const char* pn = proc.name.c_str();
+    if (proc.initial >= proc.states.size())
+      error(proc.name, "initial state out of range");
+    if (proc.role == Role::Remote) {
+      // SelfId is checked per-expression below via role; nothing global.
+    }
+
+    for (std::size_t si = 0; si < proc.states.size(); ++si) {
+      const State& s = proc.states[si];
+      std::string base = strf("%s.%s", pn, s.name.c_str());
+
+      if (s.kind == StateKind::Internal) {
+        if (!s.inputs.empty() || !s.outputs.empty())
+          error(base, "internal state offers communication guards");
+        if (s.taus.empty())
+          error(base,
+                "internal state has no τ move (process would be stuck, "
+                "violating the §2.4 eventually-communicating assumption)");
+      } else {
+        if (s.inputs.empty() && s.outputs.empty() && s.taus.empty())
+          error(base, "communication state has no guards");
+      }
+
+      // §2.4: remote comm states are single-output active or passive.
+      if (proc.role == Role::Remote && s.kind == StateKind::Comm) {
+        bool active = !s.outputs.empty();
+        if (active &&
+            (s.outputs.size() != 1 || !s.inputs.empty() || !s.taus.empty()))
+          error(base,
+                "remote active state must have exactly one output guard and "
+                "no other guards (§2.4)");
+      }
+
+      for (std::size_t gi = 0; gi < s.inputs.size(); ++gi) {
+        const InputGuard& g = s.inputs[gi];
+        std::string where = strf("%s.in[%zu]", base.c_str(), gi);
+        check_cond(g.cond, proc, where);
+        check_stmt(g.action, proc, where);
+        check_msg_binds(g.msg, g.bind_payload, proc, where);
+        check_bind_peer(g.bind_peer, proc, where);
+        if (g.next >= proc.states.size())
+          error(where, "next state out of range");
+        switch (g.from.kind) {
+          case PeerSrc::Kind::Home:
+            if (proc.role == Role::Home)
+              error(where, "home cannot receive from itself (star topology)");
+            break;
+          case PeerSrc::Kind::Any:
+            if (proc.role == Role::Remote)
+              error(where,
+                    "remote receives only from the home (star topology)");
+            break;
+          case PeerSrc::Kind::Expr:
+            if (proc.role == Role::Remote)
+              error(where,
+                    "remote receives only from the home (star topology)");
+            else
+              expect_type(g.from.expr, proc, Type::Node, where,
+                          "source peer expression");
+            break;
+        }
+        if (g.bind_peer != kNoVar && g.from.kind != PeerSrc::Kind::Any)
+          warn(where, "bind_peer on a non-Any source is redundant");
+      }
+
+      for (std::size_t gi = 0; gi < s.outputs.size(); ++gi) {
+        const OutputGuard& g = s.outputs[gi];
+        std::string where = strf("%s.out[%zu]", base.c_str(), gi);
+        check_cond(g.cond, proc, where);
+        check_stmt(g.action, proc, where);
+        check_msg_payload(g.msg, g.payload, proc, where);
+        check_bind_peer(g.bind_peer, proc, where);
+        if (g.next >= proc.states.size())
+          error(where, "next state out of range");
+        switch (g.to.kind) {
+          case PeerSel::Kind::Home:
+            if (proc.role == Role::Home)
+              error(where, "home cannot send to itself (star topology)");
+            break;
+          case PeerSel::Kind::Expr:
+            if (proc.role == Role::Remote)
+              error(where, "remote sends only to the home (star topology)");
+            else
+              expect_type(g.to.expr, proc, Type::Node, where,
+                          "target peer expression");
+            break;
+          case PeerSel::Kind::AnyInSet:
+            if (proc.role == Role::Remote)
+              error(where, "remote sends only to the home (star topology)");
+            else
+              expect_type(g.to.expr, proc, Type::NodeSet, where,
+                          "target peer set expression");
+            break;
+        }
+        if (g.bind_peer != kNoVar && g.to.kind != PeerSel::Kind::AnyInSet)
+          warn(where, "bind_peer on a non-AnyInSet target is redundant");
+      }
+
+      for (std::size_t gi = 0; gi < s.taus.size(); ++gi) {
+        const TauGuard& g = s.taus[gi];
+        std::string where = strf("%s.tau[%zu]", base.c_str(), gi);
+        check_cond(g.cond, proc, where);
+        check_stmt(g.action, proc, where);
+        if (g.next >= proc.states.size())
+          error(where, "next state out of range");
+      }
+    }
+
+    check_reachability(proc);
+  }
+
+  void check_reachability(const Process& proc) {
+    std::vector<bool> seen(proc.states.size(), false);
+    std::vector<StateId> stack;
+    if (proc.initial < proc.states.size()) {
+      seen[proc.initial] = true;
+      stack.push_back(proc.initial);
+    }
+    while (!stack.empty()) {
+      StateId id = stack.back();
+      stack.pop_back();
+      const State& s = proc.states[id];
+      auto visit = [&](StateId next) {
+        if (next < proc.states.size() && !seen[next]) {
+          seen[next] = true;
+          stack.push_back(next);
+        }
+      };
+      for (const auto& g : s.inputs) visit(g.next);
+      for (const auto& g : s.outputs) visit(g.next);
+      for (const auto& g : s.taus) visit(g.next);
+    }
+    for (std::size_t i = 0; i < proc.states.size(); ++i)
+      if (!seen[i])
+        warn(strf("%s.%s", proc.name.c_str(), proc.states[i].name.c_str()),
+             "state is unreachable from the initial state");
+  }
+
+  /// Warn on messages no guard ever offers to send or receive.
+  void check_message_usage() {
+    std::set<MsgId> sent, received;
+    auto scan = [&](const Process& proc) {
+      for (const auto& s : proc.states) {
+        for (const auto& g : s.outputs) sent.insert(g.msg);
+        for (const auto& g : s.inputs) received.insert(g.msg);
+      }
+    };
+    scan(protocol.home);
+    scan(protocol.remote);
+    for (std::size_t m = 0; m < protocol.messages.size(); ++m) {
+      MsgId id = static_cast<MsgId>(m);
+      if (!sent.contains(id) && !received.contains(id))
+        warn(protocol.name,
+             strf("message '%s' is never used",
+                  protocol.messages[m].name.c_str()));
+      else if (sent.contains(id) != received.contains(id))
+        warn(protocol.name,
+             strf("message '%s' is %s but never %s — the rendezvous can "
+                  "never complete",
+                  protocol.messages[m].name.c_str(),
+                  sent.contains(id) ? "sent" : "received",
+                  sent.contains(id) ? "received" : "sent"));
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<Type> type_of(const Expr& e, const Process& proc,
+                            std::string* err) {
+  using K = Expr::Kind;
+  auto fail = [&](std::string msg) -> std::optional<Type> {
+    if (err) *err = std::move(msg);
+    return std::nullopt;
+  };
+  auto sub = [&](const ExprP& child) { return type_of(*child, proc, err); };
+  auto require_child = [&](const ExprP& child,
+                           const char* what) -> std::optional<Type> {
+    if (!child) return fail(strf("missing %s operand", what));
+    return sub(child);
+  };
+
+  switch (e.kind) {
+    case K::IntLit:
+      return Type::Int;
+    case K::NodeLit:
+      return Type::Node;
+    case K::BoolLit:
+      return Type::Bool;
+    case K::EmptySet:
+      return Type::NodeSet;
+    case K::VarRef:
+      if (e.var >= proc.vars.size()) return fail("undeclared variable");
+      return proc.vars[e.var].type;
+    case K::SelfId:
+      if (proc.role != Role::Remote)
+        return fail("'self' is only meaningful in the remote process");
+      return Type::Node;
+    case K::Not: {
+      auto a = require_child(e.a, "not");
+      if (!a) return std::nullopt;
+      if (*a != Type::Bool) return fail("'!' needs a bool operand");
+      return Type::Bool;
+    }
+    case K::Add:
+    case K::Sub: {
+      auto a = require_child(e.a, "left");
+      auto b = require_child(e.b, "right");
+      if (!a || !b) return std::nullopt;
+      if (*a != Type::Int || *b != Type::Int)
+        return fail("arithmetic needs int operands");
+      return Type::Int;
+    }
+    case K::Eq:
+    case K::Ne: {
+      auto a = require_child(e.a, "left");
+      auto b = require_child(e.b, "right");
+      if (!a || !b) return std::nullopt;
+      if (*a != *b) return fail("comparison operands have different types");
+      return Type::Bool;
+    }
+    case K::Lt:
+    case K::Le: {
+      auto a = require_child(e.a, "left");
+      auto b = require_child(e.b, "right");
+      if (!a || !b) return std::nullopt;
+      if (*a != Type::Int || *b != Type::Int)
+        return fail("ordering needs int operands");
+      return Type::Bool;
+    }
+    case K::And:
+    case K::Or: {
+      auto a = require_child(e.a, "left");
+      auto b = require_child(e.b, "right");
+      if (!a || !b) return std::nullopt;
+      if (*a != Type::Bool || *b != Type::Bool)
+        return fail("logical operators need bool operands");
+      return Type::Bool;
+    }
+    case K::SetEmpty: {
+      auto a = require_child(e.a, "set");
+      if (!a) return std::nullopt;
+      if (*a != Type::NodeSet) return fail("empty() needs a nodeset");
+      return Type::Bool;
+    }
+    case K::SetContains: {
+      auto a = require_child(e.a, "set");
+      auto b = require_child(e.b, "element");
+      if (!a || !b) return std::nullopt;
+      if (*a != Type::NodeSet || *b != Type::Node)
+        return fail("'in' needs (node, nodeset)");
+      return Type::Bool;
+    }
+    case K::SetSize: {
+      auto a = require_child(e.a, "set");
+      if (!a) return std::nullopt;
+      if (*a != Type::NodeSet) return fail("size() needs a nodeset");
+      return Type::Int;
+    }
+  }
+  return fail("bad expression kind");
+}
+
+std::vector<Diag> validate(const Protocol& protocol) {
+  Checker c{protocol, {}};
+  if (protocol.home.role != Role::Home)
+    c.error(protocol.name, "home process does not have the Home role");
+  if (protocol.remote.role != Role::Remote)
+    c.error(protocol.name, "remote process does not have the Remote role");
+  c.check_process(protocol.home);
+  c.check_process(protocol.remote);
+  c.check_message_usage();
+  return std::move(c.diags);
+}
+
+bool has_errors(const std::vector<Diag>& diags) {
+  for (const auto& d : diags)
+    if (d.severity == Diag::Severity::Error) return true;
+  return false;
+}
+
+std::string to_string(const std::vector<Diag>& diags) {
+  std::string out;
+  for (const auto& d : diags) {
+    out += d.severity == Diag::Severity::Error ? "error: " : "warning: ";
+    out += d.where;
+    out += ": ";
+    out += d.text;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ccref::ir

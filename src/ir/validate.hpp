@@ -1,0 +1,39 @@
+// Static validation of rendezvous protocols.
+//
+// Enforces the paper's §2.4 syntactic restrictions (star topology; remote
+// communication states are single-output active or input-only passive) plus
+// general well-formedness: type correctness of every expression, statement,
+// payload and binding; guard targets; state reachability.
+//
+// The refinement procedure (src/refine) requires a protocol that validates
+// without errors; its guarantees are stated only for this fragment.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/process.hpp"
+
+namespace ccref::ir {
+
+struct Diag {
+  enum class Severity : std::uint8_t { Error, Warning };
+  Severity severity = Severity::Error;
+  std::string where;  // "h.F.guard[2]" style location
+  std::string text;
+};
+
+[[nodiscard]] std::vector<Diag> validate(const Protocol& protocol);
+
+[[nodiscard]] bool has_errors(const std::vector<Diag>& diags);
+
+/// Render diagnostics one per line ("error: h.F: ...").
+[[nodiscard]] std::string to_string(const std::vector<Diag>& diags);
+
+/// Infer the type of an expression in a process context. Returns nullopt and
+/// fills *err on type errors.
+[[nodiscard]] std::optional<Type> type_of(const Expr& e, const Process& proc,
+                                          std::string* err);
+
+}  // namespace ccref::ir

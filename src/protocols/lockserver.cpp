@@ -1,0 +1,143 @@
+#include "protocols/lockserver.hpp"
+
+#include "ir/builder.hpp"
+#include "support/strings.hpp"
+
+namespace ccref::protocols {
+
+using namespace ir;  // NOLINT — protocol definitions read like the figures
+using ex::boolean;
+using ex::negate;
+using ex::set_empty;
+using ex::var;
+
+Protocol make_lock_server() {
+  ProtocolBuilder b("lockserver");
+
+  MsgId ACQ = b.msg("acq");
+  MsgId GRANT = b.msg("grant");
+  MsgId REL = b.msg("rel");
+
+  // ---- server (home) ----
+  auto& h = b.home();
+  VarId w = h.var("w", Type::NodeSet);  // parked waiters
+  VarId o = h.var("o", Type::Node);     // current holder
+  VarId j = h.var("j", Type::Node);     // fresh requester
+  VarId t = h.var("t", Type::Node);     // waiter being granted
+  VarId held = h.var("held", Type::Bool);
+
+  h.comm("L").initial();
+  h.comm("G");  // immediate grant to j
+
+  h.input("L", ACQ)
+      .from_any(j)
+      .when(negate(var(held)))
+      .go("G")
+      .label("lock free: grant now");
+  h.input("L", ACQ)
+      .from_any(j)
+      .when(var(held))
+      .act(st::seq({st::set_add(w, var(j)), st::assign(j, ex::node(0))}))
+      .go("L")
+      .label("lock busy: park");
+  h.input("L", REL)
+      .from(var(o))
+      .when(var(held))
+      .act(st::seq({st::assign(held, boolean(false)),
+                    st::assign(o, ex::node(0))}))
+      .go("L");
+  // Hand the lock to an arbitrary parked waiter once it is free.
+  h.output("L", GRANT)
+      .when(ex::land(negate(var(held)), negate(set_empty(var(w)))))
+      .to_any_in(var(w), t)
+      .act(st::seq({st::set_remove(w, var(t)), st::assign(o, var(t)),
+                    st::assign(held, boolean(true)),
+                    st::assign(t, ex::node(0))}))
+      .go("L");
+  h.output("G", GRANT)
+      .to(var(j))
+      .act(st::seq({st::assign(o, var(j)), st::assign(held, boolean(true)),
+                    st::assign(j, ex::node(0))}))
+      .go("L");
+
+  // ---- client (remote) ----
+  auto& r = b.remote();
+  r.comm("I");   // active: request the lock when the thread wants it
+  r.comm("WL");  // waiting for the grant
+  r.comm("CS");  // inside the critical section
+  r.comm("RL");  // active: releasing
+
+  r.output("I", ACQ).go("WL").label("want");
+  r.input("WL", GRANT).go("CS");
+  r.tau("CS", "unlock").go("RL");
+  r.output("RL", REL).go("I");
+
+  return b.build();
+}
+
+std::function<std::string(const sem::RvState&)> lock_server_invariant(
+    const ir::Protocol& protocol, int num_remotes) {
+  const StateId rCS = protocol.remote.find_state("CS");
+  const StateId rRL = protocol.remote.find_state("RL");
+  const VarId held = protocol.home.find_var("held");
+  const VarId o = protocol.home.find_var("o");
+  CCREF_REQUIRE(rCS != kNoState && rRL != kNoState && held != kNoVar &&
+                o != kNoVar);
+
+  return [=](const sem::RvState& s) -> std::string {
+    int holders = 0;
+    int holder = -1;
+    for (int i = 0; i < num_remotes; ++i) {
+      StateId rs = s.remotes[i].state;
+      if (rs == rCS || rs == rRL) {
+        ++holders;
+        holder = i;
+      }
+    }
+    if (holders > 1)
+      return strf("%d clients inside the critical section", holders);
+    const bool is_held = s.home.store.get(held) != 0;
+    if (holders == 1 && !is_held)
+      return strf("r%d holds the lock but the server thinks it is free",
+                  holder);
+    if (holders == 1 && static_cast<int>(s.home.store.get(o)) != holder)
+      return strf("server records holder r%llu but r%d is in the CS",
+                  static_cast<unsigned long long>(s.home.store.get(o)),
+                  holder);
+    return "";
+  };
+}
+
+std::function<std::string(const runtime::AsyncState&)>
+lock_server_async_invariant(const ir::Protocol& protocol, int num_remotes) {
+  const StateId rCS = protocol.remote.find_state("CS");
+  const StateId rRL = protocol.remote.find_state("RL");
+  CCREF_REQUIRE(rCS != kNoState && rRL != kNoState);
+
+  return [=](const runtime::AsyncState& s) -> std::string {
+    int holders = 0;
+    for (int i = 0; i < num_remotes; ++i) {
+      StateId rs = s.remotes[i].state;
+      if (rs == rCS) {
+        ++holders;
+        continue;
+      }
+      // A releasing client stops holding once the server committed the rel
+      // rendezvous (ack already in flight back).
+      if (rs == rRL) {
+        bool committed = false;
+        if (s.remotes[i].transient)
+          for (const auto& m : s.down[i].q)
+            if (m.meta == runtime::Meta::Ack ||
+                m.meta == runtime::Meta::Repl)
+              committed = true;
+        if (!committed) ++holders;
+      }
+    }
+    if (holders > 1)
+      return strf("%d clients inside the critical section", holders);
+    return "";
+  };
+}
+
+}  // namespace ccref::protocols

@@ -1,0 +1,34 @@
+// A centralized lock server in the paper's star-protocol fragment.
+//
+// Not a cache protocol — included to exercise the claim that the refinement
+// applies to "large classes of DSM protocols" (§1): any client/server
+// synchronization written as rendezvous over a star refines the same way.
+//
+// Clients acquire (`acq`) and release (`rel`) a single lock; the server
+// grants (`grant`) immediately when free, otherwise parks the requester in a
+// waiting set and grants to an arbitrary waiter on release. acq/grant fuse
+// under §3.3 (the client always awaits the grant); rel follows the generic
+// request/ack scheme.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ir/process.hpp"
+#include "runtime/async_state.hpp"
+#include "sem/rendezvous.hpp"
+
+namespace ccref::protocols {
+
+[[nodiscard]] ir::Protocol make_lock_server();
+
+/// Mutual exclusion: at most one client holds the lock (CS or RL states),
+/// and the server's `held` flag tracks it.
+[[nodiscard]] std::function<std::string(const sem::RvState&)>
+lock_server_invariant(const ir::Protocol& protocol, int num_remotes);
+
+/// Mutual exclusion stated directly on asynchronous states.
+[[nodiscard]] std::function<std::string(const runtime::AsyncState&)>
+lock_server_async_invariant(const ir::Protocol& protocol, int num_remotes);
+
+}  // namespace ccref::protocols

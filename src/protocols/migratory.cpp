@@ -1,0 +1,168 @@
+#include "protocols/migratory.hpp"
+
+#include "ir/builder.hpp"
+#include "support/strings.hpp"
+
+namespace ccref::protocols {
+
+using namespace ir;  // NOLINT — protocol definitions read like the figures
+using ex::add;
+using ex::lit;
+using ex::var;
+
+Protocol make_migratory(const MigratoryOptions& opts) {
+  CCREF_REQUIRE(opts.data_domain >= 1);
+  ProtocolBuilder b("migratory");
+
+  MsgId REQ = b.msg("req");
+  MsgId GR = b.msg("gr", {Type::Int});
+  MsgId LR = b.msg("LR", {Type::Int});
+  MsgId INV = b.msg("inv");
+  MsgId ID = b.msg("ID", {Type::Int});
+
+  // ---- home node (Fig. 2) ----
+  auto& h = b.home();
+  VarId o = h.var("o", Type::Node);    // current owner
+  VarId j = h.var("j", Type::Node);    // pending requester
+  VarId mem = h.var("mem", Type::Int, 0, opts.data_domain);
+
+  h.comm("F").initial();
+  h.comm("GRANT");
+  h.comm("E");
+  h.comm("I1");
+  h.comm("I2");
+  h.comm("I3");
+
+  // Dead binders are reset to node(0) as soon as their rendezvous no longer
+  // needs them; this canonicalizes states that differ only in stale values
+  // and keeps the rendezvous state space small (the property behind the
+  // paper's "model checked for up to 64 nodes in 32 MB").
+  h.input("F", REQ).from_any(j).go("GRANT").label("first requester");
+  h.output("GRANT", GR)
+      .to(var(j))
+      .pay({var(mem)})
+      .act(st::seq({st::assign(o, var(j)), st::assign(j, ex::node(0))}))
+      .go("E");
+  h.input("E", LR)
+      .from(var(o))
+      .bind({mem})
+      .act(st::assign(o, ex::node(0)))
+      .go("F")
+      .label("owner gives up");
+  h.input("E", REQ).from_any(j).go("I1").label("new requester; revoke");
+  h.output("I1", INV).to(var(o)).go("I2");
+  h.input("I1", LR)
+      .from(var(o))
+      .bind({mem})
+      .act(st::assign(o, ex::node(0)))
+      .go("I3")
+      .label("evict raced inv");
+  h.input("I2", ID)
+      .from(var(o))
+      .bind({mem})
+      .act(st::assign(o, ex::node(0)))
+      .go("I3");
+  h.output("I3", GR)
+      .to(var(j))
+      .pay({var(mem)})
+      .act(st::seq({st::assign(o, var(j)), st::assign(j, ex::node(0))}))
+      .go("E");
+
+  // ---- remote node (Fig. 3) ----
+  auto& r = b.remote();
+  VarId d = r.var("d", Type::Int, 0, opts.data_domain);
+
+  // Fig. 3 labels the edge leaving I with the CPU decision `rw`; the
+  // decision is the nondeterministic firing of the req rendezvous itself, so
+  // I is an *active* communication state. (Modelling `rw` as a τ into a
+  // separate wants-the-line state would give every remote an independent
+  // mode bit and an exponential rendezvous state space.)
+  r.comm("I");   // invalid; active: ask for the line when the CPU needs it
+  r.comm("W");   // waiting for the grant
+  r.comm("V");   // valid: CPU reads/writes the local copy
+  r.comm("D1");  // active: answering an invalidation
+  r.comm("A2");  // active: relinquishing after eviction
+
+  r.output("I", REQ).go("W").label("rw");
+  r.input("W", GR).bind({d}).go("V");
+  r.input("V", INV).go("D1");
+  r.tau("V", "evict").go("A2");
+  if (opts.data_domain > 1)
+    r.tau("V", "write").act(st::assign(d, add(var(d), lit(1)))).go("V");
+  r.output("D1", ID).pay({var(d)}).go("I");
+  r.output("A2", LR).pay({var(d)}).go("I");
+
+  return b.build();
+}
+
+std::function<std::string(const sem::RvState&)> migratory_invariant(
+    const ir::Protocol& protocol, int num_remotes) {
+  const StateId rV = protocol.remote.find_state("V");
+  const StateId rD1 = protocol.remote.find_state("D1");
+  const StateId rA2 = protocol.remote.find_state("A2");
+  const StateId hF = protocol.home.find_state("F");
+  const StateId hE = protocol.home.find_state("E");
+  const VarId o = protocol.home.find_var("o");
+  CCREF_REQUIRE(rV != kNoState && rD1 != kNoState && rA2 != kNoState &&
+                hF != kNoState && hE != kNoState && o != kNoVar);
+
+  return [=](const sem::RvState& s) -> std::string {
+    int holders = 0;
+    int holder = -1;
+    for (int i = 0; i < num_remotes; ++i) {
+      StateId rs = s.remotes[i].state;
+      if (rs == rV || rs == rD1 || rs == rA2) {
+        ++holders;
+        holder = i;
+      }
+    }
+    if (holders > 1)
+      return strf("%d remotes hold the line simultaneously", holders);
+    if (s.home.state == hF && holders != 0)
+      return strf("home is free but r%d holds the line", holder);
+    if (s.home.state == hE && holders == 1 &&
+        static_cast<int>(s.home.store.get(o)) != holder)
+      return strf("home records owner r%llu but r%d holds the line",
+                  static_cast<unsigned long long>(s.home.store.get(o)),
+                  holder);
+    return "";
+  };
+}
+
+
+std::function<std::string(const runtime::AsyncState&)>
+migratory_async_invariant(const ir::Protocol& protocol, int num_remotes) {
+  const StateId rV = protocol.remote.find_state("V");
+  const StateId rD1 = protocol.remote.find_state("D1");
+  const StateId rA2 = protocol.remote.find_state("A2");
+  CCREF_REQUIRE(rV != kNoState && rD1 != kNoState && rA2 != kNoState);
+
+  return [=](const runtime::AsyncState& s) -> std::string {
+    int holders = 0;
+    for (int i = 0; i < num_remotes; ++i) {
+      StateId rs = s.remotes[i].state;
+      if (rs == rV) {
+        ++holders;
+        continue;
+      }
+      // A remote relinquishing the line (answering an invalidation from D1
+      // or evicting from A2) stops holding it once the home has committed
+      // the ID/LR rendezvous — i.e. once an ack/reply is already in flight
+      // back to it. (A nack means the handshake failed: still a holder.)
+      if (rs == rA2 || rs == rD1) {
+        bool committed = false;
+        if (s.remotes[i].transient)
+          for (const auto& m : s.down[i].q)
+            if (m.meta == runtime::Meta::Ack ||
+                m.meta == runtime::Meta::Repl)
+              committed = true;
+        if (!committed) ++holders;
+      }
+    }
+    if (holders > 1)
+      return strf("%d remotes hold the line simultaneously", holders);
+    return "";
+  };
+}
+
+}  // namespace ccref::protocols

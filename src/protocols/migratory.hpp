@@ -1,0 +1,52 @@
+// The migratory protocol of the Avalanche DSM machine, exactly as specified
+// by the paper's Figures 2 and 3 (§5 "Example Protocol").
+//
+// One cache line migrates between remotes; the home node tracks the single
+// owner `o`. A remote requests the line (`req`), the home grants it (`gr`,
+// carrying data), possibly after revoking it from the current owner with
+// `inv` (answered by `ID`, "invalidate done") or after the owner voluntarily
+// relinquishes it (`LR`, "line relinquish").
+//
+// Home (Fig. 2):  F --r(i)?req--> . --r(i)!gr--> E
+//                 E --r(o)?LR--> F
+//                 E --r(j)?req--> I1 --r(o)!inv--> I2 --r(o)?ID--> I3
+//                 I1 --r(o)?LR--> I3,   I3 --r(j)!gr--> E
+// Remote (Fig.3): I --rw--> . --h!req--> . --h?gr--> V
+//                 V --evict--> . --h!LR--> I
+//                 V --h?inv--> . --h!ID--> I
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ir/process.hpp"
+#include "runtime/async_state.hpp"
+#include "sem/rendezvous.hpp"
+
+namespace ccref::protocols {
+
+struct MigratoryOptions {
+  /// Size of the abstract data domain carried by gr/LR/ID. 1 abstracts data
+  /// away entirely (the configuration used for the Table 3 state counts);
+  /// >1 adds a `write` τ on the valid state so data actually propagates and
+  /// the coherence-of-values invariants become meaningful.
+  std::uint32_t data_domain = 1;
+};
+
+[[nodiscard]] ir::Protocol make_migratory(const MigratoryOptions& opts = {});
+
+/// Safety invariant at the rendezvous level:
+///   - at most one remote holds the line (states V / D1 / A2);
+///   - home in F implies nobody holds it;
+///   - home in E implies the holder (if any) is the recorded owner `o`.
+/// Returns "" for healthy states, a diagnostic otherwise.
+[[nodiscard]] std::function<std::string(const sem::RvState&)>
+migratory_invariant(const ir::Protocol& protocol, int num_remotes);
+
+/// The same exclusivity property stated directly on asynchronous states
+/// (usable for elide-ack variants where the §4 abstraction is undefined):
+/// at most one remote holds the line (V / D1 / A2).
+[[nodiscard]] std::function<std::string(const runtime::AsyncState&)>
+migratory_async_invariant(const ir::Protocol& protocol, int num_remotes);
+
+}  // namespace ccref::protocols

@@ -1,0 +1,168 @@
+#include "refine/abstraction.hpp"
+
+#include "support/strings.hpp"
+
+namespace ccref::refine {
+
+using ir::EvalCtx;
+using ir::InputGuard;
+using ir::OutputGuard;
+using runtime::AsyncState;
+using runtime::AsyncSystem;
+using runtime::Meta;
+using runtime::Msg;
+using sem::RvState;
+
+namespace {
+
+constexpr int kHome = -1;
+
+/// Apply a completed output transition to a rendezvous-level process slice.
+void apply_output(sem::ProcState& ps, const ir::Process& proc,
+                  const OutputGuard& og, int target, int self) {
+  if (og.bind_peer != ir::kNoVar)
+    ps.store.set(og.bind_peer, static_cast<ir::Value>(target));
+  if (og.action) ir::exec(*og.action, ps.store, proc.vars, EvalCtx{self});
+  ps.state = og.next;
+}
+
+void apply_input(sem::ProcState& ps, const ir::Process& proc,
+                 const InputGuard& ig, const Msg& m, int sender, int self) {
+  if (ig.bind_peer != ir::kNoVar)
+    ps.store.set(ig.bind_peer, static_cast<ir::Value>(sender));
+  for (std::size_t f = 0; f < ig.bind_payload.size(); ++f)
+    if (ig.bind_payload[f] != ir::kNoVar)
+      ps.store.set(ig.bind_payload[f], m.payload[f]);
+  if (ig.action) ir::exec(*ig.action, ps.store, proc.vars, EvalCtx{self});
+  ps.state = ig.next;
+}
+
+/// The single in-flight response (ack/nack/repl) on a channel, if any.
+const Msg* find_response(const runtime::Channel& ch) {
+  const Msg* found = nullptr;
+  for (const Msg& m : ch.q) {
+    if (m.meta == Meta::Req) continue;
+    CCREF_ASSERT_MSG(!found, "two responses in flight on one channel");
+    found = &m;
+  }
+  return found;
+}
+
+}  // namespace
+
+RvState abstract(const AsyncSystem& async, const AsyncState& s) {
+  const RefinedProtocol& rp = async.refined();
+  CCREF_REQUIRE_MSG(rp.options.elide_ack.empty(),
+                    "abs is undefined for elide-ack (hand-design) variants");
+  const ir::Protocol& p = async.protocol();
+  const int n = async.num_remotes();
+
+  RvState rv;
+  rv.home.state = s.home.state;
+  rv.home.store = s.home.store;
+  rv.remotes.resize(n);
+
+  if (s.home.transient) {
+    const int ri = s.home.t_target;
+    const OutputGuard& og =
+        p.home.state(s.home.state).outputs[s.home.t_guard];
+    const Msg* resp = find_response(s.up[ri]);
+    if (resp == nullptr || resp->meta == Meta::Nack) {
+      // Rule 1/3: request discarded (or nacked) — as though never sent.
+    } else if (resp->meta == Meta::Ack) {
+      // Rule 2: fast-forward past the consumed ack.
+      apply_output(rv.home, p.home, og, ri, kHome);
+    } else {  // Repl: the reply acks the request and carries the second
+              // rendezvous; fast-forward through both.
+      apply_output(rv.home, p.home, og, ri, kHome);
+      bool applied = false;
+      for (const auto& ig : p.home.state(rv.home.state).inputs) {
+        if (ig.msg != resp->msg) continue;
+        bool src_ok =
+            ig.from.kind == ir::PeerSrc::Kind::Any ||
+            (ig.from.kind == ir::PeerSrc::Kind::Expr &&
+             ir::eval(*ig.from.expr, rv.home.store, EvalCtx{kHome}) == ri);
+        if (!src_ok) continue;
+        if (ig.cond && !ir::eval(*ig.cond, rv.home.store, EvalCtx{kHome}))
+          continue;
+        apply_input(rv.home, p.home, ig, *resp, ri, kHome);
+        applied = true;
+        break;
+      }
+      CCREF_ASSERT_MSG(applied, "abs: fused reply has no consuming guard");
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    rv.remotes[i].state = s.remotes[i].state;
+    rv.remotes[i].store = s.remotes[i].store;
+    if (!s.remotes[i].transient) continue;
+    const OutputGuard& og = p.remote.state(s.remotes[i].state).outputs[0];
+    const Msg* resp = find_response(s.down[i]);
+    if (resp != nullptr) {
+      if (resp->meta == Meta::Nack) continue;  // rule 3: back to comm state
+      if (resp->meta == Meta::Ack) {
+        apply_output(rv.remotes[i], p.remote, og, kHome, i);
+        continue;
+      }
+      // Repl: fast-forward through the request and the reply rendezvous.
+      const auto* fusion = rp.remote_fusion_at(s.remotes[i].state);
+      CCREF_ASSERT(fusion && fusion->reply == resp->msg);
+      apply_output(rv.remotes[i], p.remote, og, kHome, i);
+      apply_input(rv.remotes[i], p.remote,
+                  p.remote.state(fusion->wait_state).inputs[0], *resp,
+                  Msg::kHomeSrc, i);
+      continue;
+    }
+    // No response in flight. If the request itself is still pending (in
+    // flight or in the home's buffer), rule 1 discards it: stay at the
+    // communication state. Otherwise the home consumed it silently, which
+    // only happens for fused requests — the remote is logically waiting.
+    bool pending = false;
+    for (const Msg& m : s.up[i].q)
+      if (m.meta == Meta::Req && m.msg == og.msg) pending = true;
+    for (const Msg& m : s.home.buffer)
+      if (m.src == i && m.msg == og.msg) pending = true;
+    if (pending) continue;
+    CCREF_ASSERT_MSG(rp.cls(og.msg) == MsgClass::FusedRequest,
+                     "abs: unfused request vanished without a response");
+    apply_output(rv.remotes[i], p.remote, og, kHome, i);
+  }
+  return rv;
+}
+
+std::function<std::string(const AsyncState&, const AsyncState&,
+                          const sem::Label&)>
+make_simulation_checker(const AsyncSystem& async,
+                        const sem::RendezvousSystem& rendezvous) {
+  auto encode = [&rendezvous](const RvState& s) {
+    ByteSink sink;
+    rendezvous.encode(s, sink);
+    return sink.take();
+  };
+  return [&async, &rendezvous, encode](const AsyncState& s,
+                                       const AsyncState& s2,
+                                       const sem::Label& label) -> std::string {
+    RvState a = abstract(async, s);
+    RvState b = abstract(async, s2);
+    auto eb = encode(b);
+    if (encode(a) == eb) return "";  // stutter
+    // One rendezvous step?
+    auto succs = rendezvous.successors(a);
+    for (const auto& [x, xl] : succs)
+      if (encode(x) == eb) return "";
+    // Two (the fused request/reply pair completed by one remote step)?
+    for (const auto& [x, xl] : succs) {
+      if (!xl.completes_rendezvous) continue;
+      for (const auto& [y, yl] : rendezvous.successors(x))
+        if (yl.completes_rendezvous && encode(y) == eb) return "";
+    }
+    return strf(
+        "Equation 1 violated: abs moved from {%s} to {%s} on '%s' but no "
+        "rendezvous path of length <= 2 connects them",
+        rendezvous.describe(a).c_str(), rendezvous.describe(b).c_str(),
+        label.text.c_str());
+  };
+}
+
+}  // namespace ccref::refine

@@ -1,0 +1,45 @@
+// Knobs of the refinement procedure (paper §3) plus the ablation switches
+// DESIGN.md's experiment A-ABL sweeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccref::refine {
+
+struct Options {
+  /// Home buffer capacity k >= 2 (§3.2). k = 2 is the paper's minimum that
+  /// still guarantees weak-fairness forward progress.
+  int home_buffer_capacity = 2;
+
+  /// Apply the §3.3 request/reply transformation where the syntactic
+  /// pattern holds (e.g. req/gr and inv/ID in the migratory protocol).
+  bool request_reply_fusion = true;
+
+  /// Reserve the last free buffer slot for requests that satisfy a guard of
+  /// the current communication state (§3.2). Disabling reproduces the
+  /// livelock the paper describes: "if the buffer is full and none of the
+  /// requests ... can enable a guard ... the home node can no longer make
+  /// progress".
+  bool progress_buffer = true;
+
+  /// Reserve a buffer slot for the awaited ack/nack/request when the home
+  /// enters a transient state (§3.2's "ack buffer").
+  bool ack_buffer = true;
+
+  /// Messages (by name) whose rendezvous completes without an ack: the
+  /// sender applies its transition at send time and the home must always
+  /// accept them. This models the hand-designed Avalanche migratory protocol
+  /// (§5: "no ack is exchanged after an LR message" — the dotted arrows of
+  /// Figures 4 and 5). Unsound under the §4 simulation relation; safety is
+  /// re-checked directly on the asynchronous state space instead.
+  std::vector<std::string> elide_ack;
+
+  /// Channel capacity used by the asynchronous semantics. The paper assumes
+  /// an infinite-buffer network (§2.2); explicit-state checking needs a
+  /// bound, and the simulator uses a large one.
+  int channel_capacity = 3;
+};
+
+}  // namespace ccref::refine

@@ -1,0 +1,511 @@
+#include "refine/refined.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "ir/validate.hpp"
+#include "support/contracts.hpp"
+
+namespace ccref::refine {
+
+using ir::InputGuard;
+using ir::MsgId;
+using ir::OutputGuard;
+using ir::PeerSel;
+using ir::PeerSrc;
+using ir::Process;
+using ir::Protocol;
+using ir::State;
+using ir::StateId;
+using ir::StateKind;
+
+namespace {
+
+/// Send/receive site inventory per message.
+struct Sites {
+  // (state, guard index) pairs
+  std::vector<std::pair<StateId, std::size_t>> remote_out, remote_in,
+      home_out, home_in;
+};
+
+/// All edges entering `target` in `proc`, as (kind, state, guard) triples.
+/// Used to enforce the §3.3 "always appear together" condition: a fused wait
+/// or reply state must not be reachable except through its fused partner.
+struct Entry {
+  enum class Kind : std::uint8_t { Input, Output, Tau } kind;
+  StateId state;
+  std::size_t guard;
+};
+
+std::vector<Entry> entries_of(const Process& proc, StateId target) {
+  std::vector<Entry> out;
+  for (StateId si = 0; si < proc.states.size(); ++si) {
+    const State& s = proc.states[si];
+    for (std::size_t g = 0; g < s.inputs.size(); ++g)
+      if (s.inputs[g].next == target) out.push_back({Entry::Kind::Input, si, g});
+    for (std::size_t g = 0; g < s.outputs.size(); ++g)
+      if (s.outputs[g].next == target)
+        out.push_back({Entry::Kind::Output, si, g});
+    for (std::size_t g = 0; g < s.taus.size(); ++g)
+      if (s.taus[g].next == target) out.push_back({Entry::Kind::Tau, si, g});
+  }
+  return out;
+}
+
+/// Variables written by a statement tree (used to kill dataflow facts).
+void assigned_vars(const ir::Stmt* s, std::vector<ir::VarId>& out) {
+  if (!s) return;
+  switch (s->kind) {
+    case ir::Stmt::Kind::Nop:
+      return;
+    case ir::Stmt::Kind::Assign:
+    case ir::Stmt::Kind::SetAdd:
+    case ir::Stmt::Kind::SetRemove:
+      out.push_back(s->var);
+      return;
+    case ir::Stmt::Kind::Seq:
+      for (const auto& child : s->body) assigned_vars(child.get(), out);
+      return;
+  }
+}
+
+std::vector<Sites> collect_sites(const Protocol& p) {
+  std::vector<Sites> sites(p.messages.size());
+  auto scan = [&](const Process& proc, bool is_home) {
+    for (StateId si = 0; si < proc.states.size(); ++si) {
+      const State& s = proc.states[si];
+      for (std::size_t g = 0; g < s.outputs.size(); ++g)
+        (is_home ? sites[s.outputs[g].msg].home_out
+                 : sites[s.outputs[g].msg].remote_out)
+            .emplace_back(si, g);
+      for (std::size_t g = 0; g < s.inputs.size(); ++g)
+        (is_home ? sites[s.inputs[g].msg].home_in
+                 : sites[s.inputs[g].msg].remote_in)
+            .emplace_back(si, g);
+    }
+  };
+  scan(p.home, true);
+  scan(p.remote, false);
+  return sites;
+}
+
+}  // namespace
+
+namespace {
+
+/// The paper's home-side §3.3 condition: "ri!repl always appears after
+/// ri?req in the home node". A fire-and-forget reply is only sound when the
+/// addressed remote is guaranteed to be waiting, i.e. the reply's target was
+/// bound by consuming that remote's (still unanswered) fused request on
+/// *every* path into the sending state.
+///
+/// Checked as a must dataflow analysis over the home's state graph. A fact
+/// (v, rep) over a Node variable means "v holds a remote whose fused request
+/// awaits reply rep"; over a NodeSet variable it means "every member awaits
+/// rep" (vacuously true for the initially-empty set, which is what lets a
+/// lock server park requesters in a waiting set and grant from it later).
+/// The meet is intersection. Remote-active fusions with an unprovable reply
+/// site are demoted to the generic request/ack scheme.
+void verify_reply_flow(RefinedProtocol& rp) {
+  const Process& home = rp.base->home;
+  using Fact = std::pair<ir::VarId, MsgId>;  // (var or set var, reply msg)
+  using Facts = std::set<Fact>;
+
+  std::map<MsgId, MsgId> reply_of;  // fused request -> reply
+  for (const auto& f : rp.remote_fusions) reply_of[f.request] = f.reply;
+  if (reply_of.empty()) return;
+
+  std::set<MsgId> replies;
+  for (const auto& [req, rep] : reply_of) replies.insert(rep);
+
+  auto is_nodeset = [&](ir::VarId v) {
+    return home.vars[v].type == ir::Type::NodeSet;
+  };
+
+  // Walk an action sequentially: `fresh` maps variables that currently hold
+  // a just-bound pending requester to the awaited reply.
+  auto walk_stmt = [&](const ir::Stmt* st, Facts& facts,
+                       std::map<ir::VarId, MsgId>& fresh, auto&& self) -> void {
+    if (!st) return;
+    switch (st->kind) {
+      case ir::Stmt::Kind::Nop:
+        return;
+      case ir::Stmt::Kind::Seq:
+        for (const auto& child : st->body)
+          self(child.get(), facts, fresh, self);
+        return;
+      case ir::Stmt::Kind::Assign: {
+        std::erase_if(facts,
+                      [&](const Fact& f) { return f.first == st->var; });
+        fresh.erase(st->var);
+        // NodeSet copy propagates the source set's facts.
+        if (is_nodeset(st->var) && st->a &&
+            st->a->kind == ir::Expr::Kind::VarRef) {
+          for (MsgId rep : replies)
+            if (facts.contains({st->a->var, rep}))
+              facts.insert({st->var, rep});
+        }
+        return;
+      }
+      case ir::Stmt::Kind::SetAdd: {
+        // Adding a pending-for-rep member keeps (sv, rep) and kills the
+        // other replies' facts; adding anything else kills them all.
+        MsgId keep = 0;
+        bool have_keep = false;
+        if (st->a && st->a->kind == ir::Expr::Kind::VarRef) {
+          auto it = fresh.find(st->a->var);
+          if (it != fresh.end()) {
+            keep = it->second;
+            have_keep = true;
+          }
+        }
+        std::erase_if(facts, [&](const Fact& f) {
+          return f.first == st->var && !(have_keep && f.second == keep);
+        });
+        return;
+      }
+      case ir::Stmt::Kind::SetRemove:
+        return;  // a subset of pending requesters is still pending
+    }
+  };
+
+  // Per-guard transfer functions producing OUT facts.
+  auto transfer_input = [&](Facts facts, const InputGuard& g) {
+    std::map<ir::VarId, MsgId> fresh;
+    if (g.bind_peer != ir::kNoVar) {
+      std::erase_if(facts,
+                    [&](const Fact& f) { return f.first == g.bind_peer; });
+      auto it = reply_of.find(g.msg);
+      if (it != reply_of.end()) {
+        facts.insert({g.bind_peer, it->second});
+        fresh[g.bind_peer] = it->second;
+      }
+    }
+    for (ir::VarId v : g.bind_payload) {
+      if (v == ir::kNoVar) continue;
+      std::erase_if(facts, [&](const Fact& f) { return f.first == v; });
+      fresh.erase(v);
+    }
+    walk_stmt(g.action.get(), facts, fresh, walk_stmt);
+    return facts;
+  };
+
+  auto transfer_output = [&](Facts facts, const OutputGuard& g) {
+    std::map<ir::VarId, MsgId> fresh;
+    bool is_reply = replies.contains(g.msg);
+    if (is_reply && g.to.kind == PeerSel::Kind::Expr && g.to.expr &&
+        g.to.expr->kind == ir::Expr::Kind::VarRef) {
+      facts.erase({g.to.expr->var, g.msg});  // this requester is answered
+    }
+    bool removed_target_from_set = false;
+    ir::VarId set_var = ir::kNoVar;
+    if (g.to.kind == PeerSel::Kind::AnyInSet && g.to.expr &&
+        g.to.expr->kind == ir::Expr::Kind::VarRef)
+      set_var = g.to.expr->var;
+    if (g.bind_peer != ir::kNoVar) {
+      std::erase_if(facts,
+                    [&](const Fact& f) { return f.first == g.bind_peer; });
+      // Detect `sv -= {t}` in the action: the answered member leaves.
+      std::vector<const ir::Stmt*> stack{g.action.get()};
+      while (!stack.empty()) {
+        const ir::Stmt* st = stack.back();
+        stack.pop_back();
+        if (!st) continue;
+        if (st->kind == ir::Stmt::Kind::Seq)
+          for (const auto& child : st->body) stack.push_back(child.get());
+        else if (st->kind == ir::Stmt::Kind::SetRemove &&
+                 st->var == set_var && st->a &&
+                 st->a->kind == ir::Expr::Kind::VarRef &&
+                 st->a->var == g.bind_peer)
+          removed_target_from_set = true;
+      }
+    }
+    walk_stmt(g.action.get(), facts, fresh, walk_stmt);
+    if (is_reply && set_var != ir::kNoVar && !removed_target_from_set)
+      facts.erase({set_var, g.msg});  // answered member still in the set
+    return facts;
+  };
+
+  auto transfer_tau = [&](Facts facts, const ir::TauGuard& g) {
+    std::map<ir::VarId, MsgId> fresh;
+    walk_stmt(g.action.get(), facts, fresh, walk_stmt);
+    return facts;
+  };
+
+  // Initial facts: every NodeSet variable that starts empty vacuously holds
+  // only pending requesters.
+  Facts init;
+  for (ir::VarId v = 0; v < home.vars.size(); ++v)
+    if (home.vars[v].type == ir::Type::NodeSet && home.vars[v].init == 0)
+      for (MsgId rep : replies) init.insert({v, rep});
+
+  // Worklist fixpoint; nullopt = top (unvisited).
+  std::vector<std::optional<Facts>> in(home.states.size());
+  in[home.initial] = init;
+  std::vector<StateId> work{home.initial};
+  auto merge_into = [&](StateId target, const Facts& facts) {
+    if (!in[target]) {
+      in[target] = facts;
+      work.push_back(target);
+      return;
+    }
+    Facts met;
+    std::set_intersection(in[target]->begin(), in[target]->end(),
+                          facts.begin(), facts.end(),
+                          std::inserter(met, met.begin()));
+    if (met != *in[target]) {
+      in[target] = std::move(met);
+      work.push_back(target);
+    }
+  };
+  while (!work.empty()) {
+    StateId s = work.back();
+    work.pop_back();
+    const Facts facts = *in[s];
+    const State& st = home.states[s];
+    for (const auto& g : st.inputs)
+      merge_into(g.next, transfer_input(facts, g));
+    for (const auto& g : st.outputs)
+      merge_into(g.next, transfer_output(facts, g));
+    for (const auto& g : st.taus) merge_into(g.next, transfer_tau(facts, g));
+  }
+
+  // Check every reply-send site; collect fusions that cannot be proven.
+  std::set<MsgId> bad_replies;
+  for (StateId s = 0; s < home.states.size(); ++s) {
+    for (const auto& g : home.states[s].outputs) {
+      if (!replies.contains(g.msg)) continue;
+      if (!in[s].has_value()) continue;  // unreachable: vacuously fine
+      bool ok = g.to.expr && g.to.expr->kind == ir::Expr::Kind::VarRef &&
+                (g.to.kind == PeerSel::Kind::Expr ||
+                 g.to.kind == PeerSel::Kind::AnyInSet) &&
+                in[s]->contains({g.to.expr->var, g.msg});
+      if (!ok) bad_replies.insert(g.msg);
+    }
+  }
+
+  for (MsgId rep : bad_replies) {
+    for (auto it = rp.remote_fusions.begin();
+         it != rp.remote_fusions.end();) {
+      if (it->reply == rep) {
+        rp.msg_class[it->request] = MsgClass::Normal;
+        it = rp.remote_fusions.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    rp.msg_class[rep] = MsgClass::Normal;
+  }
+}
+
+}  // namespace
+
+const RemoteFusion* RefinedProtocol::remote_fusion_at(StateId a) const {
+  for (const auto& f : remote_fusions)
+    if (f.active_state == a) return &f;
+  return nullptr;
+}
+
+const HomeFusion* RefinedProtocol::home_fusion_at(StateId s,
+                                                  std::size_t guard) const {
+  for (const auto& f : home_fusions)
+    if (f.home_state == s && f.out_guard == guard) return &f;
+  return nullptr;
+}
+
+bool RefinedProtocol::remote_replies_through(const InputGuard& ig) const {
+  const Process& r = base->remote;
+  const State& d = r.state(ig.next);
+  if (!Process::is_active_state(d)) return false;
+  const OutputGuard& og = d.outputs[0];
+  return cls(og.msg) == MsgClass::Reply && !og.cond;
+}
+
+RefinedProtocol refine(const Protocol& protocol, const Options& options) {
+  CCREF_REQUIRE_MSG(options.home_buffer_capacity >= 2,
+                    "home buffer capacity must be >= 2 (§3.2)");
+  CCREF_REQUIRE_MSG(options.channel_capacity >= 1, "channel capacity >= 1");
+  {
+    auto diags = ir::validate(protocol);
+    CCREF_REQUIRE_MSG(!ir::has_errors(diags),
+                      "protocol fails ir::validate; refine() requires the "
+                      "§2.4 fragment");
+  }
+
+  RefinedProtocol rp;
+  rp.base = &protocol;
+  rp.options = options;
+  rp.msg_class.assign(protocol.messages.size(), MsgClass::Normal);
+
+  auto sites = collect_sites(protocol);
+  const Process& remote = protocol.remote;
+  const Process& home = protocol.home;
+
+  // ---- ElideAck (hand-design deviation) ------------------------------------
+  for (const auto& name : options.elide_ack) {
+    MsgId m = protocol.find_message(name);
+    CCREF_REQUIRE_MSG(sites[m].home_out.empty(),
+                      "elide_ack supports remote->home messages only");
+    rp.msg_class[m] = MsgClass::ElideAck;
+  }
+
+  if (!options.request_reply_fusion) return rp;
+
+  // ---- remote-active fusion (req/gr) ----------------------------------------
+  // For each message sent only by remotes, check every send site matches the
+  // §3.3 pattern: h!req always immediately followed by h?repl.
+  for (MsgId m = 0; m < protocol.messages.size(); ++m) {
+    const Sites& s = sites[m];
+    if (rp.msg_class[m] != MsgClass::Normal) continue;
+    if (s.remote_out.empty() || !s.home_out.empty()) continue;
+
+    bool ok = true;
+    MsgId reply = 0;
+    bool have_reply = false;
+    std::vector<RemoteFusion> found;
+    std::set<StateId> wait_states;
+    for (auto [a, g] : s.remote_out) {
+      const State& as = remote.state(a);
+      if (!Process::is_active_state(as)) {
+        ok = false;
+        break;
+      }
+      const OutputGuard& og = as.outputs[0];
+      const State& w = remote.state(og.next);
+      // W: passive, exactly one unconditional input from the home.
+      if (w.kind != StateKind::Comm || w.inputs.size() != 1 ||
+          !w.outputs.empty() || !w.taus.empty() || w.inputs[0].cond) {
+        ok = false;
+        break;
+      }
+      MsgId m2 = w.inputs[0].msg;
+      if (have_reply && m2 != reply) {
+        ok = false;
+        break;
+      }
+      // W must be unreachable except through A's request (and must not be
+      // the initial state): a remote sitting in W without having requested
+      // would receive a fire-and-forget reply it never asked for.
+      if (og.next == remote.initial) {
+        ok = false;
+        break;
+      }
+      for (const Entry& e : entries_of(remote, og.next)) {
+        if (e.kind == Entry::Kind::Output &&
+            remote.state(e.state).outputs[e.guard].msg == m)
+          continue;
+        ok = false;
+      }
+      if (!ok) break;
+      reply = m2;
+      have_reply = true;
+      found.push_back({a, m, og.next, m2});
+      wait_states.insert(og.next);
+    }
+    if (!ok || !have_reply) continue;
+
+    // Reply-side conditions: sent only by the home, never received by the
+    // home, and received by remotes only in the wait states above.
+    const Sites& r = sites[reply];
+    if (r.remote_out.size() + r.home_in.size() != 0) continue;
+    if (r.home_out.empty()) continue;
+    if (rp.msg_class[reply] != MsgClass::Normal) continue;
+    bool reply_ok = true;
+    for (auto [w, g] : r.remote_in)
+      if (!wait_states.contains(w)) reply_ok = false;
+    if (!reply_ok) continue;
+
+    rp.msg_class[m] = MsgClass::FusedRequest;
+    rp.msg_class[reply] = MsgClass::Reply;
+    for (auto& f : found) rp.remote_fusions.push_back(f);
+  }
+
+  // ---- home-active fusion (inv/ID) ------------------------------------------
+  // For each message sent only by the home: every remote input guard must
+  // lead straight to an active state answering one consistent reply, and
+  // each home send site's successor state must consume that reply.
+  for (MsgId m = 0; m < protocol.messages.size(); ++m) {
+    const Sites& s = sites[m];
+    if (rp.msg_class[m] != MsgClass::Normal) continue;
+    if (s.home_out.empty() || !s.remote_out.empty()) continue;
+    if (!s.home_in.empty() || s.remote_in.empty()) continue;
+
+    bool ok = true;
+    MsgId reply = 0;
+    bool have_reply = false;
+    for (auto [si, g] : s.remote_in) {
+      const InputGuard& ig = remote.state(si).inputs[g];
+      const State& d = remote.state(ig.next);
+      if (!Process::is_active_state(d) || d.outputs[0].cond) {
+        ok = false;
+        break;
+      }
+      MsgId m2 = d.outputs[0].msg;
+      if (have_reply && m2 != reply) {
+        ok = false;
+        break;
+      }
+      // The reply state D must be enterable only by receiving this request
+      // (§3.3: the reply "always appears after" the request). A τ entry —
+      // e.g. a voluntary writeback sharing the WB message with the
+      // revocation reply — disqualifies the fusion.
+      if (ig.next == remote.initial) {
+        ok = false;
+        break;
+      }
+      for (const Entry& e : entries_of(remote, ig.next)) {
+        if (e.kind == Entry::Kind::Input &&
+            remote.state(e.state).inputs[e.guard].msg == m)
+          continue;
+        ok = false;
+      }
+      if (!ok) break;
+      reply = m2;
+      have_reply = true;
+    }
+    if (!ok || !have_reply) continue;
+
+    // Reply must be remote->home only, still unclassified, and sent *only*
+    // from the reply states reached by this request.
+    const Sites& r = sites[reply];
+    if (!r.home_out.empty() || !r.remote_in.empty()) continue;
+    if (rp.msg_class[reply] != MsgClass::Normal) continue;
+    {
+      std::set<StateId> reply_states;
+      for (auto [si, g] : s.remote_in)
+        reply_states.insert(remote.state(si).inputs[g].next);
+      bool only_there = true;
+      for (auto [si, g] : r.remote_out)
+        if (!reply_states.contains(si)) only_there = false;
+      if (!only_there) continue;
+    }
+
+    // Every home send site must be followed by a state that can consume the
+    // reply.
+    bool sites_ok = true;
+    std::vector<HomeFusion> found;
+    for (auto [si, g] : s.home_out) {
+      const OutputGuard& og = home.state(si).outputs[g];
+      bool consumes = false;
+      for (const auto& ig2 : home.state(og.next).inputs)
+        if (ig2.msg == reply) consumes = true;
+      if (!consumes) {
+        sites_ok = false;
+        break;
+      }
+      found.push_back({si, g, m, reply});
+    }
+    if (!sites_ok) continue;
+
+    rp.msg_class[m] = MsgClass::FusedRequest;
+    rp.msg_class[reply] = MsgClass::Reply;
+    for (auto& f : found) rp.home_fusions.push_back(f);
+  }
+
+  verify_reply_flow(rp);
+  return rp;
+}
+
+}  // namespace ccref::refine

@@ -1,0 +1,49 @@
+// Global state of the asynchronous (refined) protocol.
+//
+// Each refined process is its unrefined control state plus refinement
+// bookkeeping: a transient flag (§3's transient states are identified by the
+// communication state that entered them plus, for the home, the output guard
+// and pending target), and the incoming-request buffer (§3.1: one slot per
+// remote; §3.2: k slots at the home).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ir/store.hpp"
+#include "runtime/message.hpp"
+
+namespace ccref::runtime {
+
+struct RemoteMachine {
+  /// True when waiting for an ack/nack/reply after sending a request; the
+  /// originating active state is `state`.
+  bool transient = false;
+  ir::StateId state = 0;
+  ir::Store store;
+  std::optional<Msg> buffer;  // a pending request from the home
+
+  friend bool operator==(const RemoteMachine&, const RemoteMachine&) = default;
+};
+
+struct HomeMachine {
+  bool transient = false;
+  ir::StateId state = 0;        // current state; origin when transient
+  std::uint8_t t_guard = 0;     // pending output guard index (transient)
+  std::uint8_t t_target = 0;    // pending target remote (transient)
+  ir::Store store;
+  std::vector<Msg> buffer;      // k-slot request buffer (§3.2)
+
+  friend bool operator==(const HomeMachine&, const HomeMachine&) = default;
+};
+
+struct AsyncState {
+  HomeMachine home;
+  std::vector<RemoteMachine> remotes;
+  std::vector<Channel> up;    // remote i -> home
+  std::vector<Channel> down;  // home -> remote i
+
+  friend bool operator==(const AsyncState&, const AsyncState&) = default;
+};
+
+}  // namespace ccref::runtime

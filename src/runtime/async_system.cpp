@@ -1,0 +1,739 @@
+#include "runtime/async_system.hpp"
+
+#include "support/strings.hpp"
+
+namespace ccref::runtime {
+
+using ir::EvalCtx;
+using ir::InputGuard;
+using ir::OutputGuard;
+using ir::PeerSel;
+using ir::PeerSrc;
+using ir::StateKind;
+using refine::MsgClass;
+using sem::Label;
+
+namespace {
+constexpr int kHome = -1;
+}  // namespace
+
+AsyncSystem::AsyncSystem(const refine::RefinedProtocol& refined,
+                         int num_remotes)
+    : refined_(&refined),
+      n_(num_remotes),
+      k_(refined.options.home_buffer_capacity),
+      cap_(refined.options.channel_capacity) {
+  CCREF_REQUIRE(num_remotes >= 1 && num_remotes <= kMaxNodes);
+}
+
+AsyncState AsyncSystem::initial() const {
+  const ir::Protocol& p = protocol();
+  AsyncState s;
+  s.home.state = p.home.initial;
+  s.home.store = ir::Store(p.home.vars);
+  s.remotes.resize(n_);
+  for (auto& r : s.remotes) {
+    r.state = p.remote.initial;
+    r.store = ir::Store(p.remote.vars);
+  }
+  s.up.resize(n_);
+  s.down.resize(n_);
+  return s;
+}
+
+std::vector<std::pair<AsyncState, Label>> AsyncSystem::successors(
+    const AsyncState& s) const {
+  Out out;
+  for (int i = 0; i < n_; ++i)
+    if (!s.up[i].empty()) deliver_to_home(s, i, out);
+  for (int i = 0; i < n_; ++i)
+    if (!s.down[i].empty()) deliver_to_remote(s, i, out);
+  home_local(s, out);
+  for (int i = 0; i < n_; ++i) remote_local(s, i, out);
+  return out;
+}
+
+// ---- helpers ----------------------------------------------------------------
+
+bool AsyncSystem::input_source_matches(const InputGuard& ig,
+                                       const ir::Store& home_store,
+                                       std::uint8_t src) const {
+  switch (ig.from.kind) {
+    case PeerSrc::Kind::Any:
+      return src != Msg::kHomeSrc;
+    case PeerSrc::Kind::Expr:
+      return ir::eval(*ig.from.expr, home_store, EvalCtx{kHome}) == src;
+    case PeerSrc::Kind::Home:
+      return false;  // only remote guards have Home sources
+  }
+  return false;
+}
+
+bool AsyncSystem::satisfies_home_guard(const AsyncState& s, ir::StateId sid,
+                                       const Msg& m) const {
+  const ir::State& st = protocol().home.state(sid);
+  if (st.kind != StateKind::Comm) return false;
+  for (const auto& ig : st.inputs) {
+    if (ig.msg != m.msg) continue;
+    if (!input_source_matches(ig, s.home.store, m.src)) continue;
+    if (ig.cond && !ir::eval(*ig.cond, s.home.store, EvalCtx{kHome})) continue;
+    return true;
+  }
+  return false;
+}
+
+bool AsyncSystem::admit(const HomeMachine& hm, const AsyncState& s,
+                        const Msg& m, bool in_transient) const {
+  // Hand-design deviation: elide-ack messages must always be accepted — the
+  // sender already committed its transition.
+  if (refined_->cls(m.msg) == MsgClass::ElideAck) return true;
+
+  const auto& opts = refined_->options;
+  int free = k_ - static_cast<int>(hm.buffer.size());
+  int reserved = (in_transient && opts.ack_buffer) ? 1 : 0;  // §3.2 ack buffer
+  int avail = free - reserved;
+  if (!opts.progress_buffer) return avail >= 1;
+  if (avail >= 2) return true;                               // row T4
+  if (avail == 1)                                            // row T5
+    return satisfies_home_guard(s, hm.state, m);
+  return false;                                              // row T6
+}
+
+std::vector<ir::Value> AsyncSystem::eval_payload(const OutputGuard& og,
+                                                 const ir::Store& store,
+                                                 int actor, int target) const {
+  std::vector<ir::Value> payload;
+  payload.reserve(og.payload.size());
+  const EvalCtx ctx{actor};
+  if (og.bind_peer != ir::kNoVar) {
+    // The chosen target must be visible to payload expressions, but the live
+    // store may not be mutated before the rendezvous completes (the request
+    // can still be nacked and the §4 abstraction maps the transient state
+    // back to the unmutated communication state).
+    ir::Store scratch = store;
+    scratch.set(og.bind_peer, static_cast<ir::Value>(target));
+    for (const auto& e : og.payload)
+      payload.push_back(static_cast<ir::Value>(ir::eval(*e, scratch, ctx)));
+  } else {
+    for (const auto& e : og.payload)
+      payload.push_back(static_cast<ir::Value>(ir::eval(*e, store, ctx)));
+  }
+  return payload;
+}
+
+void AsyncSystem::apply_home_output(HomeMachine& hm, const OutputGuard& og,
+                                    int target) const {
+  if (og.bind_peer != ir::kNoVar)
+    hm.store.set(og.bind_peer, static_cast<ir::Value>(target));
+  if (og.action)
+    ir::exec(*og.action, hm.store, protocol().home.vars, EvalCtx{kHome});
+  hm.state = og.next;
+  hm.transient = false;
+}
+
+void AsyncSystem::apply_input(const ir::Process& proc, ir::Store& store,
+                              ir::StateId& state, const InputGuard& ig,
+                              const Msg& m, int self) const {
+  if (ig.bind_peer != ir::kNoVar)
+    store.set(ig.bind_peer, static_cast<ir::Value>(m.src));
+  for (std::size_t f = 0; f < ig.bind_payload.size(); ++f)
+    if (ig.bind_payload[f] != ir::kNoVar)
+      store.set(ig.bind_payload[f], m.payload[f]);
+  if (ig.action) ir::exec(*ig.action, store, proc.vars, EvalCtx{self});
+  state = ig.next;
+}
+
+// ---- deliveries to the home --------------------------------------------------
+
+void AsyncSystem::deliver_to_home(const AsyncState& s, int i, Out& out) const {
+  const Msg& m = s.up[i].front();
+  const ir::Process& home = protocol().home;
+  const HomeMachine& hm = s.home;
+
+  switch (m.meta) {
+    case Meta::Ack: {
+      // Row T1: the pending rendezvous succeeded.
+      CCREF_ASSERT_MSG(hm.transient && hm.t_target == i,
+                       "stray ACK at the home");
+      const OutputGuard& og = home.state(hm.state).outputs[hm.t_guard];
+      CCREF_ASSERT(refined_->cls(og.msg) != MsgClass::FusedRequest ||
+                   !refined_->home_fusion_at(hm.state, hm.t_guard));
+      AsyncState next = s;
+      next.up[i].pop();
+      apply_home_output(next.home, og, i);
+      Label l;
+      l.text = strf("h T1: ack from r%d completes %s", i,
+                    protocol().message(og.msg).name.c_str());
+      out.emplace_back(std::move(next), std::move(l));
+      return;
+    }
+    case Meta::Nack: {
+      // Row T2: rendezvous failed; return to the communication state.
+      CCREF_ASSERT_MSG(hm.transient && hm.t_target == i,
+                       "stray NACK at the home");
+      AsyncState next = s;
+      next.up[i].pop();
+      next.home.transient = false;
+      Label l;
+      l.text = strf("h T2: nack from r%d", i);
+      out.emplace_back(std::move(next), std::move(l));
+      return;
+    }
+    case Meta::Repl: {
+      // Fused pair completion (§3.3): the reply acks the pending request and
+      // carries the second rendezvous of the pair.
+      CCREF_ASSERT_MSG(hm.transient && hm.t_target == i,
+                       "stray REPL at the home");
+      const auto* fusion = refined_->home_fusion_at(hm.state, hm.t_guard);
+      CCREF_ASSERT_MSG(fusion && fusion->reply == m.msg,
+                       "REPL does not match the pending fusion");
+      const OutputGuard& og = home.state(hm.state).outputs[hm.t_guard];
+      AsyncState next = s;
+      next.up[i].pop();
+      apply_home_output(next.home, og, i);
+      // Consume the reply in the successor state.
+      bool applied = false;
+      for (const auto& ig : home.state(next.home.state).inputs) {
+        if (ig.msg != m.msg) continue;
+        if (!input_source_matches(ig, next.home.store, m.src)) continue;
+        if (ig.cond &&
+            !ir::eval(*ig.cond, next.home.store, EvalCtx{kHome}))
+          continue;
+        apply_input(home, next.home.store, next.home.state, ig, m, kHome);
+        applied = true;
+        break;
+      }
+      CCREF_ASSERT_MSG(applied, "no guard consumed the fused reply");
+      Label l;
+      l.text = strf("h T1: repl %s from r%d completes fused pair",
+                    protocol().message(m.msg).name.c_str(), i);
+      out.emplace_back(std::move(next), std::move(l));
+      return;
+    }
+    case Meta::Req: {
+      if (hm.transient && hm.t_target == i) {
+        // Row T3 (rule R3): treat as an implicit nack plus a request. The
+        // ack-buffer reservation guarantees space for this request.
+        AsyncState next = s;
+        next.up[i].pop();
+        next.home.transient = false;
+        Msg req = m;
+        if (admit(next.home, next, req, /*in_transient=*/false)) {
+          next.home.buffer.push_back(std::move(req));
+          Label l;
+          l.text = strf("h T3: implicit nack; buffered %s from r%d",
+                        protocol().message(m.msg).name.c_str(), i);
+          out.emplace_back(std::move(next), std::move(l));
+        } else {
+          // Only reachable with the ack buffer disabled (ablation).
+          if (s.down[i].size() >= static_cast<std::size_t>(cap_)) return;
+          Msg nack;
+          nack.meta = Meta::Nack;
+          nack.src = Msg::kHomeSrc;
+          next.down[i].push(std::move(nack));
+          Label l;
+          l.text = strf("h T3: implicit nack; nacked %s from r%d (no space)",
+                        protocol().message(m.msg).name.c_str(), i);
+          l.sent_nack = 1;
+          out.emplace_back(std::move(next), std::move(l));
+        }
+        return;
+      }
+      // Rows T4/T5/T6 (and the analogous communication-state admission).
+      if (admit(hm, s, m, hm.transient)) {
+        AsyncState next = s;
+        next.up[i].pop();
+        next.home.buffer.push_back(m);
+        Label l;
+        l.text = strf("h buffer: %s from r%d",
+                      protocol().message(m.msg).name.c_str(), i);
+        out.emplace_back(std::move(next), std::move(l));
+      } else {
+        if (s.down[i].size() >= static_cast<std::size_t>(cap_)) return;
+        AsyncState next = s;
+        next.up[i].pop();
+        Msg nack;
+        nack.meta = Meta::Nack;
+        nack.src = Msg::kHomeSrc;
+        next.down[i].push(std::move(nack));
+        Label l;
+        l.text = strf("h T6: nack %s from r%d",
+                      protocol().message(m.msg).name.c_str(), i);
+        l.sent_nack = 1;
+        out.emplace_back(std::move(next), std::move(l));
+      }
+      return;
+    }
+  }
+}
+
+// ---- deliveries to a remote ---------------------------------------------------
+
+void AsyncSystem::deliver_to_remote(const AsyncState& s, int i,
+                                    Out& out) const {
+  const Msg& m = s.down[i].front();
+  const ir::Process& remote = protocol().remote;
+  const RemoteMachine& rm = s.remotes[i];
+
+  if (rm.transient) {
+    const ir::State& a = remote.state(rm.state);
+    const OutputGuard& og = a.outputs[0];
+    switch (m.meta) {
+      case Meta::Ack: {
+        // Row T1.
+        CCREF_ASSERT_MSG(!refined_->remote_fusion_at(rm.state),
+                         "ACK for a fused request");
+        AsyncState next = s;
+        next.down[i].pop();
+        auto& nrm = next.remotes[i];
+        if (og.action)
+          ir::exec(*og.action, nrm.store, remote.vars, EvalCtx{i});
+        nrm.state = og.next;
+        nrm.transient = false;
+        Label l;
+        l.text = strf("r%d T1: ack completes %s", i,
+                      protocol().message(og.msg).name.c_str());
+        out.emplace_back(std::move(next), std::move(l));
+        return;
+      }
+      case Meta::Nack: {
+        // Row T2: go back and retransmit (the active send re-enables).
+        AsyncState next = s;
+        next.down[i].pop();
+        next.remotes[i].transient = false;
+        Label l;
+        l.text = strf("r%d T2: nack; will retry", i);
+        out.emplace_back(std::move(next), std::move(l));
+        return;
+      }
+      case Meta::Repl: {
+        const auto* fusion = refined_->remote_fusion_at(rm.state);
+        CCREF_ASSERT_MSG(fusion && fusion->reply == m.msg,
+                         "REPL does not match the remote fusion");
+        AsyncState next = s;
+        next.down[i].pop();
+        auto& nrm = next.remotes[i];
+        if (og.action)
+          ir::exec(*og.action, nrm.store, remote.vars, EvalCtx{i});
+        nrm.state = og.next;  // W
+        const InputGuard& ig =
+            remote.state(fusion->wait_state).inputs[0];
+        apply_input(remote, nrm.store, nrm.state, ig, m, i);
+        nrm.transient = false;
+        Label l;
+        l.text = strf("r%d T1: repl %s completes fused pair", i,
+                      protocol().message(m.msg).name.c_str());
+        out.emplace_back(std::move(next), std::move(l));
+        return;
+      }
+      case Meta::Req: {
+        // Row T3: the remote knows the home will treat its own pending
+        // request as an implicit nack, so this request is simply dropped.
+        AsyncState next = s;
+        next.down[i].pop();
+        Label l;
+        l.text = strf("r%d T3: ignore %s from home", i,
+                      protocol().message(m.msg).name.c_str());
+        out.emplace_back(std::move(next), std::move(l));
+        return;
+      }
+    }
+    return;
+  }
+
+  // Not transient: only requests can arrive; hold in the one-slot buffer.
+  CCREF_ASSERT_MSG(m.meta == Meta::Req, "non-request at an idle remote");
+  CCREF_ASSERT_MSG(!rm.buffer.has_value(),
+                   "home sent two outstanding requests to one remote");
+  AsyncState next = s;
+  next.down[i].pop();
+  next.remotes[i].buffer = m;
+  Label l;
+  l.text = strf("r%d buffer: %s from home", i,
+                protocol().message(m.msg).name.c_str());
+  out.emplace_back(std::move(next), std::move(l));
+}
+
+// ---- home local steps ----------------------------------------------------------
+
+void AsyncSystem::home_local(const AsyncState& s, Out& out) const {
+  const ir::Process& home = protocol().home;
+  const HomeMachine& hm = s.home;
+  if (hm.transient) return;  // waiting for an ack/nack/reply
+  const ir::State& st = home.state(hm.state);
+  const EvalCtx hctx{kHome};
+
+  // τ moves (internal states, and autonomous decisions in comm states such
+  // as the invalidate protocol's "copyset swept").
+  for (const auto& g : st.taus) {
+    if (g.cond && !ir::eval(*g.cond, hm.store, hctx)) continue;
+    AsyncState next = s;
+    if (g.action)
+      ir::exec(*g.action, next.home.store, home.vars, hctx);
+    next.home.state = g.next;
+    Label l;
+    l.text = strf("h: tau %s", g.label.empty() ? "-" : g.label.c_str());
+    l.actor = kHome;
+    l.decision = g.label;
+    out.emplace_back(std::move(next), std::move(l));
+  }
+  if (st.kind != StateKind::Comm) return;
+
+  // ---- row C1: complete a rendezvous from the buffer ----
+  bool any_c1 = false;
+  for (std::size_t b = 0; b < hm.buffer.size(); ++b) {
+    const Msg& m = hm.buffer[b];
+    for (const auto& ig : st.inputs) {
+      if (ig.msg != m.msg) continue;
+      if (!input_source_matches(ig, hm.store, m.src)) continue;
+      if (ig.cond && !ir::eval(*ig.cond, hm.store, hctx)) continue;
+      any_c1 = true;
+      MsgClass cls = refined_->cls(m.msg);
+      if (cls == MsgClass::Normal &&
+          s.down[m.src].size() >= static_cast<std::size_t>(cap_))
+        continue;  // no room for the ack right now
+      AsyncState next = s;
+      Msg taken = m;
+      next.home.buffer.erase(next.home.buffer.begin() + b);
+      Label l;
+      l.actor = kHome;
+      if (cls == MsgClass::Normal) {
+        Msg ack;
+        ack.meta = Meta::Ack;
+        ack.src = Msg::kHomeSrc;
+        next.down[taken.src].push(std::move(ack));
+        l.sent_ack = 1;
+        l.completes_rendezvous = true;
+      } else if (cls == MsgClass::FusedRequest) {
+        // §3.3: no ack — the later reply acts as the ack.
+        l.completes_rendezvous = true;
+      } else {
+        // ElideAck: the sender already committed at send time.
+        CCREF_ASSERT(cls == MsgClass::ElideAck);
+      }
+      apply_input(home, next.home.store, next.home.state, ig, taken, kHome);
+      l.text = strf("h C1: %s %s from r%d",
+                    cls == MsgClass::Normal ? "ack" : "consume",
+                    protocol().message(taken.msg).name.c_str(), taken.src);
+      out.emplace_back(std::move(next), std::move(l));
+    }
+  }
+
+  // ---- row C2: initiate a rendezvous (only when no buffered request can
+  // complete one — condition (a)) ----
+  if (any_c1) return;
+  for (std::size_t gi = 0; gi < st.outputs.size(); ++gi) {
+    const OutputGuard& og = st.outputs[gi];
+    if (og.cond && !ir::eval(*og.cond, hm.store, hctx)) continue;
+    NodeSet targets;
+    if (og.to.kind == PeerSel::Kind::Expr) {
+      std::int64_t j = ir::eval(*og.to.expr, hm.store, hctx);
+      CCREF_ASSERT(j >= 0 && j < n_);
+      targets.add(static_cast<NodeId>(j));
+    } else if (og.to.kind == PeerSel::Kind::AnyInSet) {
+      targets = NodeSet(
+          static_cast<std::uint64_t>(ir::eval(*og.to.expr, hm.store, hctx)));
+    }
+    MsgClass cls = refined_->cls(og.msg);
+    for (NodeId ri : targets) {
+      if (ri >= n_) continue;
+      // Condition (c): a pending request from ri means ri is active and
+      // cannot satisfy our request — sending would be wasted.
+      bool pending = false;
+      for (const auto& bm : hm.buffer)
+        if (bm.src == ri) pending = true;
+      if (pending) continue;
+      if (cls == MsgClass::Reply) {
+        // Fire-and-forget reply of a fused pair: the §3.3 conditions
+        // guarantee the remote is waiting, so no ack and no transient.
+        if (s.down[ri].size() >= static_cast<std::size_t>(cap_)) continue;
+        AsyncState next = s;
+        Msg repl;
+        repl.meta = Meta::Repl;
+        repl.msg = og.msg;
+        repl.src = Msg::kHomeSrc;
+        repl.payload = eval_payload(og, hm.store, kHome, ri);
+        next.down[ri].push(std::move(repl));
+        apply_home_output(next.home, og, ri);
+        Label l;
+        l.text = strf("h C2: repl %s -> r%d",
+                      protocol().message(og.msg).name.c_str(), ri);
+        l.sent_repl = 1;
+        l.completes_rendezvous = true;
+        l.actor = kHome;
+        l.decision = protocol().message(og.msg).name;
+        out.emplace_back(std::move(next), std::move(l));
+        continue;
+      }
+      // Generic request: allocate the ack buffer first (§3.2), nacking one
+      // buffered request if the buffer is full (condition (a) already told
+      // us none of them satisfies a rendezvous here).
+      AsyncState next = s;
+      Label l;
+      if (refined_->options.ack_buffer &&
+          next.home.buffer.size() >= static_cast<std::size_t>(k_)) {
+        int victim = -1;
+        for (int v = static_cast<int>(next.home.buffer.size()) - 1; v >= 0;
+             --v)
+          if (refined_->cls(next.home.buffer[v].msg) != MsgClass::ElideAck) {
+            victim = v;
+            break;
+          }
+        if (victim < 0) continue;  // nothing nackable
+        std::uint8_t vsrc = next.home.buffer[victim].src;
+        if (next.down[vsrc].size() >= static_cast<std::size_t>(cap_))
+          continue;
+        next.home.buffer.erase(next.home.buffer.begin() + victim);
+        Msg nack;
+        nack.meta = Meta::Nack;
+        nack.src = Msg::kHomeSrc;
+        next.down[vsrc].push(std::move(nack));
+        l.sent_nack = 1;
+      }
+      if (next.down[ri].size() >= static_cast<std::size_t>(cap_)) continue;
+      Msg req;
+      req.meta = Meta::Req;
+      req.msg = og.msg;
+      req.src = Msg::kHomeSrc;
+      req.payload = eval_payload(og, hm.store, kHome, ri);
+      next.down[ri].push(std::move(req));
+      next.home.transient = true;
+      next.home.t_guard = static_cast<std::uint8_t>(gi);
+      next.home.t_target = ri;
+      l.text = strf("h C2: request %s -> r%d",
+                    protocol().message(og.msg).name.c_str(), ri);
+      l.sent_req = 1;
+      l.actor = kHome;
+      l.decision = protocol().message(og.msg).name;
+      out.emplace_back(std::move(next), std::move(l));
+    }
+  }
+}
+
+// ---- remote local steps ---------------------------------------------------------
+
+void AsyncSystem::remote_local(const AsyncState& s, int i, Out& out) const {
+  const ir::Process& remote = protocol().remote;
+  const RemoteMachine& rm = s.remotes[i];
+  if (rm.transient) return;
+  const ir::State& st = remote.state(rm.state);
+  const EvalCtx rctx{i};
+
+  // τ moves; the one-slot buffer rides along.
+  for (const auto& g : st.taus) {
+    if (g.cond && !ir::eval(*g.cond, rm.store, rctx)) continue;
+    AsyncState next = s;
+    auto& nrm = next.remotes[i];
+    if (g.action) ir::exec(*g.action, nrm.store, remote.vars, rctx);
+    nrm.state = g.next;
+    Label l;
+    l.text = strf("r%d: tau %s", i, g.label.empty() ? "-" : g.label.c_str());
+    l.actor = i;
+    l.decision = g.label;
+    out.emplace_back(std::move(next), std::move(l));
+  }
+  if (st.kind != StateKind::Comm) return;
+
+  if (!st.outputs.empty()) {
+    // Active state (§2.4: exactly one output guard) — rows C1/C2 of Table 1.
+    const OutputGuard& og = st.outputs[0];
+    if (og.cond && !ir::eval(*og.cond, rm.store, rctx)) return;
+    if (s.up[i].size() >= static_cast<std::size_t>(cap_)) return;
+    MsgClass cls = refined_->cls(og.msg);
+    AsyncState next = s;
+    auto& nrm = next.remotes[i];
+    // Row C2: a buffered request from the home is deleted; the home will
+    // interpret our request as an implicit nack for it (rule R3).
+    bool deleted = nrm.buffer.has_value();
+    nrm.buffer.reset();
+    Label l;
+    l.actor = i;
+    l.decision = protocol().message(og.msg).name;
+    if (cls == MsgClass::ElideAck) {
+      // Hand-design deviation: send and commit immediately, no handshake.
+      Msg req;
+      req.meta = Meta::Req;
+      req.msg = og.msg;
+      req.src = static_cast<std::uint8_t>(i);
+      req.payload = eval_payload(og, rm.store, i, kHome);
+      next.up[i].push(std::move(req));
+      if (og.action) ir::exec(*og.action, nrm.store, remote.vars, rctx);
+      nrm.state = og.next;
+      l.text = strf("r%d: send %s (no ack)%s", i,
+                    protocol().message(og.msg).name.c_str(),
+                    deleted ? ", dropped buffered request" : "");
+      l.sent_req = 1;
+      l.completes_rendezvous = true;
+    } else {
+      Msg req;
+      req.meta = Meta::Req;
+      req.msg = og.msg;
+      req.src = static_cast<std::uint8_t>(i);
+      req.payload = eval_payload(og, rm.store, i, kHome);
+      next.up[i].push(std::move(req));
+      nrm.transient = true;
+      l.text = strf("r%d C%d: request %s", i, deleted ? 2 : 1,
+                    protocol().message(og.msg).name.c_str());
+      l.sent_req = 1;
+    }
+    out.emplace_back(std::move(next), std::move(l));
+    return;
+  }
+
+  // Passive state — row C3: answer the buffered request.
+  if (!rm.buffer.has_value()) return;
+  const Msg& m = *rm.buffer;
+  bool matched = false;
+  for (const auto& ig : st.inputs) {
+    if (ig.msg != m.msg) continue;
+    if (ig.cond && !ir::eval(*ig.cond, rm.store, rctx)) continue;
+    matched = true;
+    if (s.up[i].size() >= static_cast<std::size_t>(cap_)) continue;
+    AsyncState next = s;
+    auto& nrm = next.remotes[i];
+    Msg taken = m;
+    nrm.buffer.reset();
+    Label l;
+    l.actor = i;
+    if (refined_->cls(m.msg) == MsgClass::FusedRequest &&
+        refined_->remote_replies_through(ig)) {
+      // §3.3 reverse direction: apply the input, then immediately answer
+      // with the reply — it doubles as the ack.
+      apply_input(remote, nrm.store, nrm.state, ig, taken, i);
+      const OutputGuard& og = remote.state(nrm.state).outputs[0];
+      Msg repl;
+      repl.meta = Meta::Repl;
+      repl.msg = og.msg;
+      repl.src = static_cast<std::uint8_t>(i);
+      repl.payload = eval_payload(og, nrm.store, i, kHome);
+      next.up[i].push(std::move(repl));
+      if (og.action) ir::exec(*og.action, nrm.store, remote.vars, rctx);
+      nrm.state = og.next;
+      l.text = strf("r%d C3: %s answered with repl %s", i,
+                    protocol().message(taken.msg).name.c_str(),
+                    protocol().message(repl.msg).name.c_str());
+      l.sent_repl = 1;
+      l.completes_rendezvous = true;
+    } else {
+      Msg ack;
+      ack.meta = Meta::Ack;
+      ack.src = static_cast<std::uint8_t>(i);
+      next.up[i].push(std::move(ack));
+      apply_input(remote, nrm.store, nrm.state, ig, taken, i);
+      l.text = strf("r%d C3: ack %s", i,
+                    protocol().message(taken.msg).name.c_str());
+      l.sent_ack = 1;
+      l.completes_rendezvous = true;
+    }
+    out.emplace_back(std::move(next), std::move(l));
+  }
+  if (!matched) {
+    // Row C3, no guard satisfied: nack and keep waiting.
+    if (s.up[i].size() >= static_cast<std::size_t>(cap_)) return;
+    AsyncState next = s;
+    next.remotes[i].buffer.reset();
+    Msg nack;
+    nack.meta = Meta::Nack;
+    nack.src = static_cast<std::uint8_t>(i);
+    next.up[i].push(std::move(nack));
+    Label l;
+    l.text = strf("r%d C3: nack %s", i,
+                  protocol().message(m.msg).name.c_str());
+    l.sent_nack = 1;
+    l.actor = i;
+    out.emplace_back(std::move(next), std::move(l));
+  }
+}
+
+// ---- encode / decode / describe ------------------------------------------------
+
+void AsyncSystem::encode(const AsyncState& s, ByteSink& sink) const {
+  sink.u8(s.home.transient ? 1 : 0);
+  sink.varint(s.home.state);
+  sink.u8(s.home.t_guard);
+  sink.u8(s.home.t_target);
+  s.home.store.encode(sink);
+  sink.u8(static_cast<std::uint8_t>(s.home.buffer.size()));
+  for (const Msg& m : s.home.buffer) m.encode(sink);
+  for (const auto& r : s.remotes) {
+    sink.u8(r.transient ? 1 : 0);
+    sink.varint(r.state);
+    r.store.encode(sink);
+    sink.u8(r.buffer.has_value() ? 1 : 0);
+    if (r.buffer) r.buffer->encode(sink);
+  }
+  for (const auto& c : s.up) c.encode(sink);
+  for (const auto& c : s.down) c.encode(sink);
+}
+
+AsyncState AsyncSystem::decode(ByteSource& src) const {
+  const ir::Protocol& p = protocol();
+  AsyncState s;
+  s.home.transient = src.u8() != 0;
+  s.home.state = static_cast<ir::StateId>(src.varint());
+  s.home.t_guard = src.u8();
+  s.home.t_target = src.u8();
+  s.home.store = ir::Store(p.home.vars);
+  s.home.store.decode(src);
+  s.home.buffer.resize(src.u8());
+  for (Msg& m : s.home.buffer) m = Msg::decode(src);
+  s.remotes.resize(n_);
+  for (auto& r : s.remotes) {
+    r.transient = src.u8() != 0;
+    r.state = static_cast<ir::StateId>(src.varint());
+    r.store = ir::Store(p.remote.vars);
+    r.store.decode(src);
+    if (src.u8()) r.buffer = Msg::decode(src);
+  }
+  s.up.resize(n_);
+  for (auto& c : s.up) c = Channel::decode(src);
+  s.down.resize(n_);
+  for (auto& c : s.down) c = Channel::decode(src);
+  return s;
+}
+
+std::string AsyncSystem::describe(const AsyncState& s) const {
+  const ir::Protocol& p = protocol();
+  auto msg_str = [&](const Msg& m) {
+    std::string out = to_string(m.meta);
+    if (m.meta == Meta::Req || m.meta == Meta::Repl)
+      out += "." + p.message(m.msg).name;
+    out += m.src == Msg::kHomeSrc ? "<h" : strf("<r%d", m.src);
+    return out;
+  };
+  std::string out = "h=" + p.home.state(s.home.state).name;
+  if (s.home.transient)
+    out += strf("*[g%d->r%d]", s.home.t_guard, s.home.t_target);
+  out += "(";
+  for (std::size_t v = 0; v < p.home.vars.size(); ++v) {
+    if (v) out += ",";
+    out += strf("%s=%llu", p.home.vars[v].name.c_str(),
+                static_cast<unsigned long long>(
+                    s.home.store.get(static_cast<ir::VarId>(v))));
+  }
+  out += ") buf[";
+  for (std::size_t b = 0; b < s.home.buffer.size(); ++b) {
+    if (b) out += " ";
+    out += msg_str(s.home.buffer[b]);
+  }
+  out += "]";
+  for (int i = 0; i < n_; ++i) {
+    const auto& r = s.remotes[i];
+    out += strf(" r%d=%s%s", i, p.remote.state(r.state).name.c_str(),
+                r.transient ? "*" : "");
+    if (r.buffer) out += "[" + msg_str(*r.buffer) + "]";
+  }
+  for (int i = 0; i < n_; ++i) {
+    if (!s.up[i].empty()) {
+      out += strf(" up%d:", i);
+      for (const Msg& m : s.up[i].q) out += " " + msg_str(m);
+    }
+    if (!s.down[i].empty()) {
+      out += strf(" down%d:", i);
+      for (const Msg& m : s.down[i].q) out += " " + msg_str(m);
+    }
+  }
+  return out;
+}
+
+}  // namespace ccref::runtime

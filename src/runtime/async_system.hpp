@@ -1,0 +1,87 @@
+// Asynchronous semantics of a refined protocol: the executable form of the
+// paper's Tables 1 (remote rules C1-C3, T1-T3) and 2 (home rules C1-C2,
+// T1-T6), including the buffer-reservation scheme (progress buffer and ack
+// buffer), the implicit-nack rule R3, and the §3.3 request/reply fusion.
+//
+// The same System interface as sem::RendezvousSystem, so verify::explore
+// model-checks it and sim::Simulator executes it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "refine/refined.hpp"
+#include "runtime/async_state.hpp"
+#include "sem/label.hpp"
+
+namespace ccref::runtime {
+
+class AsyncSystem {
+ public:
+  using State = AsyncState;
+
+  AsyncSystem(const refine::RefinedProtocol& refined, int num_remotes);
+
+  [[nodiscard]] State initial() const;
+
+  /// All enabled asynchronous transitions, deterministically ordered:
+  /// deliveries to the home, deliveries to remotes, home local steps
+  /// (τ / C1 / C2), remote local steps (τ / active send / C3).
+  [[nodiscard]] std::vector<std::pair<State, sem::Label>> successors(
+      const State& s) const;
+
+  void encode(const State& s, ByteSink& sink) const;
+  [[nodiscard]] State decode(ByteSource& src) const;
+  [[nodiscard]] std::string describe(const State& s) const;
+
+  [[nodiscard]] const refine::RefinedProtocol& refined() const {
+    return *refined_;
+  }
+  [[nodiscard]] const ir::Protocol& protocol() const {
+    return *refined_->base;
+  }
+  [[nodiscard]] int num_remotes() const { return n_; }
+
+ private:
+  using Out = std::vector<std::pair<AsyncState, sem::Label>>;
+
+  // ---- deliveries ----
+  void deliver_to_home(const State& s, int i, Out& out) const;
+  void deliver_to_remote(const State& s, int i, Out& out) const;
+
+  // ---- local steps ----
+  void home_local(const State& s, Out& out) const;
+  void remote_local(const State& s, int i, Out& out) const;
+
+  // ---- helpers ----
+  /// Does message m satisfy some input guard of home state `sid`? (§3.2's
+  /// "known to complete a rendezvous in the current state".)
+  [[nodiscard]] bool satisfies_home_guard(const State& s, ir::StateId sid,
+                                          const Msg& m) const;
+  /// Buffer admission per Table 2 rows T4-T6 / the progress-buffer rule.
+  /// Returns true to buffer, false to nack.
+  [[nodiscard]] bool admit(const HomeMachine& hm, const State& s,
+                           const Msg& m, bool in_transient) const;
+  /// Evaluate an output guard's payload with the target visible to the
+  /// expression (without mutating the live store).
+  [[nodiscard]] std::vector<ir::Value> eval_payload(
+      const ir::OutputGuard& og, const ir::Store& store, int actor,
+      int target) const;
+  /// Apply a completed home output transition (bind target, action, move).
+  void apply_home_output(HomeMachine& hm, const ir::OutputGuard& og,
+                         int target) const;
+  /// Apply an input guard on a process store/state.
+  void apply_input(const ir::Process& proc, ir::Store& store,
+                   ir::StateId& state, const ir::InputGuard& ig,
+                   const Msg& m, int self) const;
+  [[nodiscard]] bool input_source_matches(const ir::InputGuard& ig,
+                                          const ir::Store& home_store,
+                                          std::uint8_t src) const;
+
+  const refine::RefinedProtocol* refined_;
+  int n_;
+  int k_;    // home buffer capacity
+  int cap_;  // channel capacity
+};
+
+}  // namespace ccref::runtime

@@ -1,0 +1,43 @@
+// Transition labels shared by the rendezvous and asynchronous semantics.
+//
+// Labels carry what the model checker, the soundness analyses, and the
+// simulator need to know about a step: a human-readable description, whether
+// the step *completes* a rendezvous (the paper's notion of forward progress,
+// §2.5), how many wire messages of each kind it sent (the paper's quality
+// metric, §1), and which autonomous decision it represents (so the simulator
+// can gate CPU decisions like `rw`/`evict` on a workload).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ccref::sem {
+
+struct Label {
+  std::string text;
+
+  /// True when this transition finishes a rendezvous: the synchronous step
+  /// itself in the rendezvous semantics; the ack-generating (or fused-reply)
+  /// step in the asynchronous semantics.
+  bool completes_rendezvous = false;
+
+  /// Wire messages sent during this step (asynchronous semantics only).
+  std::uint8_t sent_req = 0;
+  std::uint8_t sent_ack = 0;
+  std::uint8_t sent_nack = 0;
+  std::uint8_t sent_repl = 0;
+
+  /// Acting process: -1 home, >= 0 remote id, -2 not applicable.
+  int actor = -2;
+
+  /// Non-empty for τ decisions and remote active initiations; carries the
+  /// τ's label (e.g. "evict") or the sent message name (e.g. "req"). The
+  /// simulator matches this against pending workload events.
+  std::string decision;
+
+  [[nodiscard]] int messages_sent() const {
+    return sent_req + sent_ack + sent_nack + sent_repl;
+  }
+};
+
+}  // namespace ccref::sem

@@ -1,0 +1,220 @@
+#include "sem/rendezvous.hpp"
+
+#include "support/strings.hpp"
+
+namespace ccref::sem {
+
+using ir::EvalCtx;
+using ir::InputGuard;
+using ir::OutputGuard;
+using ir::PeerSel;
+using ir::PeerSrc;
+using ir::StateKind;
+
+RendezvousSystem::RendezvousSystem(const ir::Protocol& protocol,
+                                   int num_remotes)
+    : protocol_(&protocol), n_(num_remotes) {
+  CCREF_REQUIRE(num_remotes >= 1 && num_remotes <= kMaxNodes);
+}
+
+RvState RendezvousSystem::initial() const {
+  RvState s;
+  s.home.state = protocol_->home.initial;
+  s.home.store = ir::Store(protocol_->home.vars);
+  s.remotes.resize(n_);
+  for (auto& r : s.remotes) {
+    r.state = protocol_->remote.initial;
+    r.store = ir::Store(protocol_->remote.vars);
+  }
+  return s;
+}
+
+std::vector<std::pair<RvState, Label>> RendezvousSystem::successors(
+    const RvState& s) const {
+  std::vector<std::pair<RvState, Label>> out;
+  tau_moves(s, -1, out);
+  for (int i = 0; i < n_; ++i) tau_moves(s, i, out);
+  home_active(s, out);
+  for (int i = 0; i < n_; ++i) remote_active(s, i, out);
+  return out;
+}
+
+void RendezvousSystem::tau_moves(
+    const RvState& s, int proc,
+    std::vector<std::pair<RvState, Label>>& out) const {
+  const ir::Process& p = proc < 0 ? protocol_->home : protocol_->remote;
+  const ProcState& ps = proc < 0 ? s.home : s.remotes[proc];
+  const EvalCtx ctx{proc};
+  const ir::State& st = p.state(ps.state);
+  for (const auto& g : st.taus) {
+    if (g.cond && !ir::eval(*g.cond, ps.store, ctx)) continue;
+    RvState next = s;
+    ProcState& target = proc < 0 ? next.home : next.remotes[proc];
+    if (g.action) ir::exec(*g.action, target.store, p.vars, ctx);
+    target.state = g.next;
+    std::string who = proc < 0 ? "h" : strf("r%d", proc);
+    Label label;
+    label.text = strf("%s: tau %s", who.c_str(),
+                      g.label.empty() ? "-" : g.label.c_str());
+    label.actor = proc;
+    label.decision = g.label;
+    out.emplace_back(std::move(next), std::move(label));
+  }
+}
+
+void RendezvousSystem::home_active(
+    const RvState& s, std::vector<std::pair<RvState, Label>>& out) const {
+  const ir::State& hs = protocol_->home.state(s.home.state);
+  const EvalCtx hctx{-1};
+  for (const auto& og : hs.outputs) {
+    if (og.cond && !ir::eval(*og.cond, s.home.store, hctx)) continue;
+    // Resolve the set of candidate targets.
+    NodeSet targets;
+    if (og.to.kind == PeerSel::Kind::Expr) {
+      std::int64_t j = ir::eval(*og.to.expr, s.home.store, hctx);
+      CCREF_ASSERT_MSG(j >= 0 && j < n_, "home addressed a non-existent remote");
+      targets.add(static_cast<NodeId>(j));
+    } else if (og.to.kind == PeerSel::Kind::AnyInSet) {
+      targets = NodeSet(static_cast<std::uint64_t>(
+          ir::eval(*og.to.expr, s.home.store, hctx)));
+    }
+    for (NodeId j : targets) {
+      if (j >= n_) continue;
+      const ir::State& rs = protocol_->remote.state(s.remotes[j].state);
+      if (rs.kind != StateKind::Comm) continue;
+      const EvalCtx rctx{j};
+      for (const auto& ig : rs.inputs) {
+        if (ig.msg != og.msg) continue;
+        CCREF_ASSERT(ig.from.kind == PeerSrc::Kind::Home);
+        if (ig.cond && !ir::eval(*ig.cond, s.remotes[j].store, rctx))
+          continue;
+        fire(s, og, -1, ig, j, out);
+      }
+    }
+  }
+}
+
+void RendezvousSystem::remote_active(
+    const RvState& s, int i,
+    std::vector<std::pair<RvState, Label>>& out) const {
+  const ir::State& rs = protocol_->remote.state(s.remotes[i].state);
+  if (rs.kind != StateKind::Comm) return;
+  const EvalCtx rctx{i};
+  const ir::State& hs = protocol_->home.state(s.home.state);
+  if (hs.kind != StateKind::Comm) return;
+  const EvalCtx hctx{-1};
+  for (const auto& og : rs.outputs) {
+    if (og.cond && !ir::eval(*og.cond, s.remotes[i].store, rctx)) continue;
+    CCREF_ASSERT(og.to.kind == PeerSel::Kind::Home);
+    for (const auto& ig : hs.inputs) {
+      if (ig.msg != og.msg) continue;
+      bool src_ok = false;
+      switch (ig.from.kind) {
+        case PeerSrc::Kind::Any:
+          src_ok = true;
+          break;
+        case PeerSrc::Kind::Expr:
+          src_ok = ir::eval(*ig.from.expr, s.home.store, hctx) == i;
+          break;
+        case PeerSrc::Kind::Home:
+          src_ok = false;  // impossible after validation
+          break;
+      }
+      if (!src_ok) continue;
+      if (ig.cond && !ir::eval(*ig.cond, s.home.store, hctx)) continue;
+      fire(s, og, i, ig, -1, out);
+    }
+  }
+}
+
+void RendezvousSystem::fire(const RvState& s, const OutputGuard& og,
+                            int active, const InputGuard& ig, int passive,
+                            std::vector<std::pair<RvState, Label>>& out) const {
+  RvState next = s;
+  const ir::Process& ap = active < 0 ? protocol_->home : protocol_->remote;
+  const ir::Process& pp = passive < 0 ? protocol_->home : protocol_->remote;
+  ProcState& a = active < 0 ? next.home : next.remotes[active];
+  ProcState& p = passive < 0 ? next.home : next.remotes[passive];
+  const EvalCtx actx{active};
+  const EvalCtx pctx{passive};
+
+  // The chosen target becomes visible to the active side's payload and
+  // action (e.g. `o := j` after picking j from a copyset).
+  if (og.bind_peer != ir::kNoVar)
+    a.store.set(og.bind_peer, static_cast<ir::Value>(passive));
+
+  std::vector<ir::Value> payload;
+  payload.reserve(og.payload.size());
+  for (const auto& e : og.payload)
+    payload.push_back(
+        static_cast<ir::Value>(ir::eval(*e, a.store, actx)));
+
+  // Passive side: learn the sender, bind the payload, run the action.
+  if (ig.bind_peer != ir::kNoVar)
+    p.store.set(ig.bind_peer, static_cast<ir::Value>(active));
+  for (std::size_t f = 0; f < ig.bind_payload.size(); ++f)
+    if (ig.bind_payload[f] != ir::kNoVar)
+      p.store.set(ig.bind_payload[f], payload[f]);
+
+  if (og.action) ir::exec(*og.action, a.store, ap.vars, actx);
+  if (ig.action) ir::exec(*ig.action, p.store, pp.vars, pctx);
+  a.state = og.next;
+  p.state = ig.next;
+
+  std::string an = active < 0 ? "h" : strf("r%d", active);
+  std::string pn = passive < 0 ? "h" : strf("r%d", passive);
+  Label label;
+  label.text = strf("%s!%s -> %s", an.c_str(),
+                    protocol_->message(og.msg).name.c_str(), pn.c_str());
+  label.completes_rendezvous = true;
+  label.actor = active;
+  label.decision = protocol_->message(og.msg).name;
+  out.emplace_back(std::move(next), std::move(label));
+}
+
+void RendezvousSystem::encode(const RvState& s, ByteSink& sink) const {
+  sink.varint(s.home.state);
+  s.home.store.encode(sink);
+  for (const auto& r : s.remotes) {
+    sink.varint(r.state);
+    r.store.encode(sink);
+  }
+}
+
+RvState RendezvousSystem::decode(ByteSource& src) const {
+  RvState s;
+  s.home.state = static_cast<ir::StateId>(src.varint());
+  s.home.store = ir::Store(protocol_->home.vars);
+  s.home.store.decode(src);
+  s.remotes.resize(n_);
+  for (auto& r : s.remotes) {
+    r.state = static_cast<ir::StateId>(src.varint());
+    r.store = ir::Store(protocol_->remote.vars);
+    r.store.decode(src);
+  }
+  return s;
+}
+
+std::string RendezvousSystem::describe(const RvState& s) const {
+  auto proc_str = [&](const ir::Process& p, const ProcState& ps,
+                      const std::string& name) {
+    std::string out = name + "=" + p.state(ps.state).name;
+    if (!p.vars.empty()) {
+      out += "(";
+      for (std::size_t v = 0; v < p.vars.size(); ++v) {
+        if (v) out += ",";
+        out += strf("%s=%llu", p.vars[v].name.c_str(),
+                    static_cast<unsigned long long>(ps.store.get(
+                        static_cast<ir::VarId>(v))));
+      }
+      out += ")";
+    }
+    return out;
+  };
+  std::string out = proc_str(protocol_->home, s.home, "h");
+  for (int i = 0; i < n_; ++i)
+    out += " " + proc_str(protocol_->remote, s.remotes[i], strf("r%d", i));
+  return out;
+}
+
+}  // namespace ccref::sem

@@ -1,0 +1,73 @@
+// Synchronous (rendezvous) semantics of a star protocol: the atomic-
+// transaction view the designer writes and model-checks first (paper §2.3).
+//
+// A global state is the home's (control state, store) plus each remote's.
+// Transitions are:
+//   τ      — one process takes an autonomous move;
+//   sync   — an enabled output guard in one process meets a matching input
+//            guard in the addressed partner; payload transfer, both actions
+//            and both state changes happen atomically.
+#pragma once
+
+#include <vector>
+
+#include "ir/process.hpp"
+#include "ir/store.hpp"
+#include "sem/label.hpp"
+#include "support/bytes.hpp"
+
+namespace ccref::sem {
+
+/// One process instance's slice of the global state.
+struct ProcState {
+  ir::StateId state = 0;
+  ir::Store store;
+
+  friend bool operator==(const ProcState&, const ProcState&) = default;
+};
+
+/// Global state of the rendezvous system: home + n remotes.
+struct RvState {
+  ProcState home;
+  std::vector<ProcState> remotes;
+
+  friend bool operator==(const RvState&, const RvState&) = default;
+};
+
+class RendezvousSystem {
+ public:
+  using State = RvState;
+
+  RendezvousSystem(const ir::Protocol& protocol, int num_remotes);
+
+  [[nodiscard]] State initial() const;
+
+  /// Enumerate all enabled transitions in deterministic order.
+  [[nodiscard]] std::vector<std::pair<State, Label>> successors(
+      const State& s) const;
+
+  void encode(const State& s, ByteSink& sink) const;
+  [[nodiscard]] State decode(ByteSource& src) const;
+
+  /// Human-readable dump for error traces.
+  [[nodiscard]] std::string describe(const State& s) const;
+
+  [[nodiscard]] const ir::Protocol& protocol() const { return *protocol_; }
+  [[nodiscard]] int num_remotes() const { return n_; }
+
+ private:
+  void tau_moves(const State& s, int proc /* -1 = home */,
+                 std::vector<std::pair<State, Label>>& out) const;
+  void home_active(const State& s,
+                   std::vector<std::pair<State, Label>>& out) const;
+  void remote_active(const State& s, int i,
+                     std::vector<std::pair<State, Label>>& out) const;
+  void fire(const State& s, const ir::OutputGuard& og, int active,
+            const ir::InputGuard& ig, int passive,
+            std::vector<std::pair<State, Label>>& out) const;
+
+  const ir::Protocol* protocol_;
+  int n_;
+};
+
+}  // namespace ccref::sem

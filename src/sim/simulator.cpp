@@ -1,0 +1,117 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/rng.hpp"
+
+namespace ccref::sim {
+
+using runtime::AsyncState;
+using runtime::AsyncSystem;
+
+double SimStats::fairness_index() const {
+  if (remotes.empty()) return 1.0;
+  double sum = 0, sumsq = 0;
+  for (const auto& r : remotes) {
+    sum += static_cast<double>(r.ops_completed);
+    sumsq += static_cast<double>(r.ops_completed) *
+             static_cast<double>(r.ops_completed);
+  }
+  if (sumsq == 0) return 1.0;
+  return (sum * sum) / (static_cast<double>(remotes.size()) * sumsq);
+}
+
+namespace {
+
+struct OpCursor {
+  std::size_t next = 0;          // index into the remote's op list
+  std::uint64_t activated = 0;   // step at which the current op became head
+};
+
+/// Advance cursors past every op whose goal the remote has reached.
+void settle(const AsyncState& s, const Workload& w,
+            std::vector<OpCursor>& cursors, std::uint64_t step,
+            SimStats& stats) {
+  for (std::size_t i = 0; i < cursors.size(); ++i) {
+    auto& cur = cursors[i];
+    const auto& ops = w.per_remote[i];
+    while (cur.next < ops.size() && !s.remotes[i].transient &&
+           s.remotes[i].state == ops[cur.next].goal) {
+      std::uint64_t latency = step - cur.activated;
+      auto& rs = stats.remotes[i];
+      ++rs.ops_completed;
+      rs.latency_total += latency;
+      rs.latency_max = std::max(rs.latency_max, latency);
+      ++cur.next;
+      cur.activated = step;
+    }
+  }
+}
+
+[[nodiscard]] bool decision_allowed(const sem::Label& label,
+                                    const Workload& w,
+                                    const std::set<std::string>& vocab,
+                                    const std::vector<OpCursor>& cursors) {
+  if (label.decision.empty() || label.actor < 0) return true;
+  // Decisions outside the workload's vocabulary are obligatory protocol
+  // actions (e.g. answering an invalidation) and cannot be refused.
+  if (!vocab.contains(label.decision)) return true;
+  const auto& ops = w.per_remote[label.actor];
+  const auto& cur = cursors[label.actor];
+  if (cur.next >= ops.size()) return false;  // no work left for this remote
+  const Op& op = ops[cur.next];
+  return std::find(op.decisions.begin(), op.decisions.end(),
+                   label.decision) != op.decisions.end();
+}
+
+}  // namespace
+
+SimStats simulate(const AsyncSystem& system, const Workload& workload,
+                  const SimOptions& options) {
+  const int n = system.num_remotes();
+  CCREF_REQUIRE(static_cast<int>(workload.per_remote.size()) == n);
+
+  SimStats stats;
+  stats.remotes.resize(n);
+  Rng rng(options.seed);
+  AsyncState state = system.initial();
+  const std::set<std::string>& vocab = workload.vocabulary;
+  std::vector<OpCursor> cursors(n);
+
+  std::vector<std::size_t> eligible;
+  for (stats.steps = 0; stats.steps < options.max_steps; ++stats.steps) {
+    settle(state, workload, cursors, stats.steps, stats);
+
+    bool all_done = true;
+    for (int i = 0; i < n; ++i)
+      if (cursors[i].next < workload.per_remote[i].size()) all_done = false;
+    if (all_done) {
+      stats.finished = true;
+      break;
+    }
+
+    auto succs = system.successors(state);
+    eligible.clear();
+    for (std::size_t t = 0; t < succs.size(); ++t)
+      if (decision_allowed(succs[t].second, workload, vocab, cursors))
+        eligible.push_back(t);
+    if (eligible.empty()) {
+      stats.stall = "no eligible transition in " + system.describe(state);
+      break;
+    }
+    auto& [next, label] = succs[eligible[rng.below(eligible.size())]];
+    stats.req += label.sent_req;
+    stats.ack += label.sent_ack;
+    stats.nack += label.sent_nack;
+    stats.repl += label.sent_repl;
+    if (label.completes_rendezvous) ++stats.completions;
+    state = std::move(next);
+  }
+  if (!stats.finished && stats.stall.empty())
+    stats.stall = "step budget exhausted";
+  for (const auto& r : stats.remotes) stats.ops_total += r.ops_completed;
+  return stats;
+}
+
+}  // namespace ccref::sim

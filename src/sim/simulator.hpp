@@ -1,0 +1,60 @@
+// Workload-driven simulator for asynchronous (refined) protocols.
+//
+// Executes runtime::AsyncSystem one transition at a time: passive reactions
+// (deliveries, buffering, acks/nacks, home-initiated protocol steps) are
+// always eligible; a remote's autonomous decisions are gated by its pending
+// workload op. The scheduler picks uniformly at random among eligible
+// transitions with a seeded RNG, so every run is reproducible.
+//
+// This substitutes for the Avalanche hardware in the paper's efficiency
+// comparison (§5): the quality metric — request/ack/nack message counts per
+// rendezvous — is a property of the protocol and the §2.2 network model, not
+// of the silicon, so counting wire messages per completed operation
+// reproduces it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/async_system.hpp"
+#include "sim/workload.hpp"
+
+namespace ccref::sim {
+
+struct SimOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t max_steps = 2'000'000;
+};
+
+struct RemoteStats {
+  std::uint64_t ops_completed = 0;
+  std::uint64_t latency_total = 0;  // steps from op activation to completion
+  std::uint64_t latency_max = 0;
+};
+
+struct SimStats {
+  std::uint64_t steps = 0;
+  std::uint64_t completions = 0;  // rendezvous completed (ack/repl events)
+  std::uint64_t req = 0, ack = 0, nack = 0, repl = 0;
+  std::uint64_t ops_total = 0;
+  std::vector<RemoteStats> remotes;
+  bool finished = false;  // every op completed
+  std::string stall;      // non-empty if the run wedged before finishing
+
+  [[nodiscard]] std::uint64_t messages() const {
+    return req + ack + nack + repl;
+  }
+  [[nodiscard]] double msgs_per_op() const {
+    return ops_total ? static_cast<double>(messages()) / ops_total : 0.0;
+  }
+  /// Jain's fairness index over per-remote completed ops (1.0 = perfectly
+  /// fair, 1/n = one remote got everything).
+  [[nodiscard]] double fairness_index() const;
+};
+
+[[nodiscard]] SimStats simulate(const runtime::AsyncSystem& system,
+                                const Workload& workload,
+                                const SimOptions& options = {});
+
+}  // namespace ccref::sim

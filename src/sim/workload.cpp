@@ -1,0 +1,52 @@
+#include "sim/workload.hpp"
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace ccref::sim {
+
+Workload migratory_workload(const ir::Protocol& protocol, int num_remotes,
+                            int cycles) {
+  const ir::StateId goal_v = protocol.remote.find_state("V");
+  const ir::StateId goal_i = protocol.remote.find_state("I");
+  CCREF_REQUIRE(goal_v != ir::kNoState && goal_i != ir::kNoState);
+  Workload w;
+  w.vocabulary = {"req", "evict", "write"};
+  w.per_remote.resize(num_remotes);
+  for (auto& q : w.per_remote) {
+    q.reserve(2 * cycles);
+    for (int c = 0; c < cycles; ++c) {
+      q.push_back({"acquire", {"req"}, goal_v});
+      q.push_back({"release", {"evict"}, goal_i});  // the LR send is obligatory
+    }
+  }
+  return w;
+}
+
+Workload invalidate_workload(const ir::Protocol& protocol, int num_remotes,
+                             int ops, double write_fraction,
+                             std::uint64_t seed) {
+  const ir::StateId goal_s = protocol.remote.find_state("S");
+  const ir::StateId goal_m = protocol.remote.find_state("M");
+  const ir::StateId goal_i = protocol.remote.find_state("I");
+  CCREF_REQUIRE(goal_s != ir::kNoState && goal_m != ir::kNoState &&
+                goal_i != ir::kNoState);
+  Workload w;
+  w.vocabulary = {"read", "write", "reqS", "reqX", "evict"};
+  w.per_remote.resize(num_remotes);
+  Rng rng(seed);
+  for (auto& q : w.per_remote) {
+    q.reserve(2 * ops);
+    for (int c = 0; c < ops; ++c) {
+      if (rng.chance(write_fraction)) {
+        q.push_back({"write", {"write", "reqX"}, goal_m});
+      } else {
+        q.push_back({"read", {"read", "reqS"}, goal_s});
+      }
+      q.push_back({"release", {"evict"}, goal_i});  // drop/WB are obligatory
+    }
+  }
+  return w;
+}
+
+}  // namespace ccref::sim

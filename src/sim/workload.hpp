@@ -1,0 +1,62 @@
+// Workloads: per-remote sequences of CPU operations that drive a simulated
+// asynchronous protocol.
+//
+// The asynchronous semantics exposes autonomous decisions (τ moves and
+// active-request initiations) through sem::Label::decision; an Op names the
+// decisions a remote is allowed to take until it reaches the op's goal
+// state. Retries after nacks reuse the same decision label, so they are
+// naturally permitted while the op is outstanding.
+//
+// Gating applies only to decisions in the workload's *vocabulary* (the union
+// of all op decision labels): everything else — answering an invalidation
+// with ID, writing back after a revocation — is an obligatory protocol
+// action a CPU cannot refuse, and always remains eligible.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/process.hpp"
+
+namespace ccref::sim {
+
+struct Op {
+  std::string name;                    // "acquire", "release", ...
+  std::vector<std::string> decisions;  // allowed decision labels
+  ir::StateId goal = ir::kNoState;     // op completes here (non-transient)
+};
+
+struct Workload {
+  std::vector<std::vector<Op>> per_remote;
+
+  [[nodiscard]] std::size_t total_ops() const {
+    std::size_t n = 0;
+    for (const auto& q : per_remote) n += q.size();
+    return n;
+  }
+
+  /// The protocol's *controllable* decisions (CPU-driven τs and request
+  /// initiations). Decisions outside this set are obligatory protocol
+  /// actions and never gated. Generators fill this from protocol knowledge;
+  /// it must cover every controllable label, not just the ones this
+  /// particular workload happens to use (an all-write workload still needs
+  /// "read" gated off).
+  std::set<std::string> vocabulary;
+};
+
+/// Migratory workload: each remote performs `cycles` acquire/release pairs
+/// (acquire the line, hold it, relinquish it).
+[[nodiscard]] Workload migratory_workload(const ir::Protocol& protocol,
+                                          int num_remotes, int cycles);
+
+/// Invalidate workload: each remote performs `ops` acquire/release pairs;
+/// each acquire is a write miss with probability `write_fraction`, else a
+/// read miss. Seeded and fully deterministic.
+[[nodiscard]] Workload invalidate_workload(const ir::Protocol& protocol,
+                                           int num_remotes, int ops,
+                                           double write_fraction,
+                                           std::uint64_t seed);
+
+}  // namespace ccref::sim

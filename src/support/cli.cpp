@@ -1,0 +1,87 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/contracts.hpp"
+#include "support/strings.hpp"
+
+namespace ccref {
+
+Cli::Cli(int argc, char** argv) {
+  CCREF_REQUIRE(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+    } else if (arg.starts_with("--")) {
+      arg.remove_prefix(2);
+      auto eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        values_.emplace(std::string(arg.substr(0, eq)),
+                        std::string(arg.substr(eq + 1)));
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_.emplace(std::string(arg), std::string(argv[++i]));
+      } else {
+        values_.emplace(std::string(arg), "true");
+      }
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+std::string Cli::str_flag(std::string_view name, std::string_view def,
+                          std::string_view help) {
+  decls_.push_back({std::string(name), std::string(def), std::string(help)});
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::string(def);
+  std::string v = it->second;
+  values_.erase(it);
+  return v;
+}
+
+std::int64_t Cli::int_flag(std::string_view name, std::int64_t def,
+                           std::string_view help) {
+  std::string v = str_flag(name, strf("%lld", static_cast<long long>(def)),
+                           help);
+  char* end = nullptr;
+  long long parsed = std::strtoll(v.c_str(), &end, 10);
+  CCREF_REQUIRE_MSG(end && *end == '\0', "flag value is not an integer");
+  return parsed;
+}
+
+double Cli::double_flag(std::string_view name, double def,
+                        std::string_view help) {
+  std::string v = str_flag(name, strf("%g", def), help);
+  char* end = nullptr;
+  double parsed = std::strtod(v.c_str(), &end);
+  CCREF_REQUIRE_MSG(end && *end == '\0', "flag value is not a number");
+  return parsed;
+}
+
+bool Cli::bool_flag(std::string_view name, bool def, std::string_view help) {
+  std::string v = str_flag(name, def ? "true" : "false", help);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  CCREF_REQUIRE_MSG(false, "flag value is not a boolean");
+  return def;
+}
+
+void Cli::finish() {
+  if (help_requested_) {
+    std::printf("usage: %s [flags]\n", program_.c_str());
+    for (const auto& d : decls_)
+      std::printf("  --%-24s (default: %s) %s\n", d.name.c_str(),
+                  d.def.c_str(), d.help.c_str());
+    std::exit(0);
+  }
+  for (const auto& [name, value] : values_) {
+    std::fprintf(stderr, "%s: unknown flag --%s=%s\n", program_.c_str(),
+                 name.c_str(), value.c_str());
+    std::exit(2);
+  }
+}
+
+}  // namespace ccref

@@ -1,0 +1,53 @@
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--flag`. Unknown
+// flags are an error so typos in experiment sweeps fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccref {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// Declare flags with defaults; returns parsed value. Declaration order
+  /// doubles as --help order.
+  [[nodiscard]] std::int64_t int_flag(std::string_view name,
+                                      std::int64_t def,
+                                      std::string_view help = "");
+  [[nodiscard]] double double_flag(std::string_view name, double def,
+                                   std::string_view help = "");
+  [[nodiscard]] bool bool_flag(std::string_view name, bool def,
+                               std::string_view help = "");
+  [[nodiscard]] std::string str_flag(std::string_view name,
+                                     std::string_view def,
+                                     std::string_view help = "");
+
+  /// Call after all flags are declared: rejects unknown flags, handles
+  /// --help (prints usage and exits 0).
+  void finish();
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  struct Decl {
+    std::string name;
+    std::string def;
+    std::string help;
+  };
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+  std::vector<Decl> decls_;
+  bool help_requested_ = false;
+};
+
+}  // namespace ccref

@@ -1,0 +1,55 @@
+// Lightweight contract checks used across the library.
+//
+// CCREF_REQUIRE  — precondition on public API boundaries; always on.
+// CCREF_ASSERT   — internal invariant; always on (the library is a research
+//                  artifact where silent corruption is worse than the cost of
+//                  a compare-and-branch).
+// CCREF_UNREACHABLE — marks impossible control flow.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccref {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const char* msg) {
+  std::fprintf(stderr, "ccref: %s failed: %s at %s:%d%s%s\n", kind, expr, file,
+               line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace ccref
+
+#define CCREF_REQUIRE(cond)                                                 \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::ccref::contract_failure("precondition", #cond, __FILE__, __LINE__,  \
+                                nullptr);                                   \
+  } while (0)
+
+#define CCREF_REQUIRE_MSG(cond, msg)                                        \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::ccref::contract_failure("precondition", #cond, __FILE__, __LINE__,  \
+                                (msg));                                     \
+  } while (0)
+
+#define CCREF_ASSERT(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::ccref::contract_failure("invariant", #cond, __FILE__, __LINE__,     \
+                                nullptr);                                   \
+  } while (0)
+
+#define CCREF_ASSERT_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::ccref::contract_failure("invariant", #cond, __FILE__, __LINE__,     \
+                                (msg));                                     \
+  } while (0)
+
+#define CCREF_UNREACHABLE(msg)                                              \
+  ::ccref::contract_failure("unreachable", "control flow", __FILE__,        \
+                            __LINE__, (msg))

@@ -1,0 +1,76 @@
+// 64-bit hashing for byte-encoded protocol states.
+//
+// The model checker stores millions of encoded states in an open-addressing
+// set; we need a fast, well-mixed, seedable hash. This is a standalone
+// implementation of the wyhash-style mix used widely in HPC hash tables.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace ccref {
+
+namespace detail {
+
+inline std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  // 64x64 -> 128 multiply, fold halves. __uint128_t is available on all
+  // 64-bit gcc/clang targets we care about.
+  __uint128_t p = static_cast<__uint128_t>(a) * b;
+  return static_cast<std::uint64_t>(p) ^ static_cast<std::uint64_t>(p >> 64);
+}
+
+inline std::uint64_t load64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline std::uint64_t load32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace detail
+
+/// Hash an arbitrary byte span with a seed. Deterministic across runs.
+inline std::uint64_t hash_bytes(std::span<const std::byte> data,
+                                std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+  constexpr std::uint64_t k0 = 0xa0761d6478bd642full;
+  constexpr std::uint64_t k1 = 0xe7037ed1a0b428dbull;
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  std::uint64_t h = seed ^ detail::mix64(static_cast<std::uint64_t>(n), k0);
+  while (n >= 16) {
+    h = detail::mix64(detail::load64(p) ^ k0, detail::load64(p + 8) ^ h);
+    p += 16;
+    n -= 16;
+  }
+  std::uint64_t a = 0, b = 0;
+  if (n >= 8) {
+    a = detail::load64(p);
+    p += 8;
+    n -= 8;
+  }
+  if (n >= 4) {
+    b = detail::load32(p);
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    b = (b << 8) | static_cast<std::uint64_t>(*p);
+    ++p;
+    --n;
+  }
+  h = detail::mix64(a ^ k1, b ^ h);
+  return detail::mix64(h, h ^ k1);
+}
+
+/// Combine two 64-bit hashes (order-sensitive).
+inline std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  return detail::mix64(h ^ 0x2545f4914f6cdd1dull, v ^ 0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace ccref

@@ -1,0 +1,77 @@
+// NodeSet: a value-semantic set of remote-node ids (0..63) used for
+// directory copysets in invalidate-style protocols.
+//
+// The paper's invalidate protocol tracks which remotes hold a shared copy;
+// with at most 64 nodes (the paper's own scaling limit) a bitmask is exact.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "support/contracts.hpp"
+
+namespace ccref {
+
+using NodeId = std::uint8_t;
+
+/// Maximum number of remote nodes a protocol instance may have.
+inline constexpr int kMaxNodes = 64;
+
+class NodeSet {
+ public:
+  constexpr NodeSet() = default;
+  constexpr explicit NodeSet(std::uint64_t bits) : bits_(bits) {}
+
+  [[nodiscard]] static constexpr NodeSet all(int n) {
+    return NodeSet(n >= 64 ? ~0ull : ((1ull << n) - 1));
+  }
+
+  [[nodiscard]] constexpr bool contains(NodeId id) const {
+    return (bits_ >> id) & 1u;
+  }
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+  [[nodiscard]] constexpr int size() const { return std::popcount(bits_); }
+  [[nodiscard]] constexpr std::uint64_t bits() const { return bits_; }
+
+  constexpr void add(NodeId id) { bits_ |= (1ull << id); }
+  constexpr void remove(NodeId id) { bits_ &= ~(1ull << id); }
+  constexpr void clear() { bits_ = 0; }
+
+  /// Lowest-numbered member; set must be non-empty.
+  [[nodiscard]] NodeId first() const {
+    CCREF_REQUIRE(!empty());
+    return static_cast<NodeId>(std::countr_zero(bits_));
+  }
+
+  /// Member following `id`, or -1 if none. Enables range-style iteration.
+  [[nodiscard]] int next_after(NodeId id) const {
+    std::uint64_t rest = bits_ & ~((2ull << id) - 1);
+    return rest == 0 ? -1 : std::countr_zero(rest);
+  }
+
+  friend constexpr bool operator==(NodeSet, NodeSet) = default;
+
+  /// Iteration support: `for (NodeId i : set)`.
+  class iterator {
+   public:
+    constexpr iterator(std::uint64_t bits) : bits_(bits) {}
+    NodeId operator*() const {
+      return static_cast<NodeId>(std::countr_zero(bits_));
+    }
+    iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    friend constexpr bool operator==(iterator, iterator) = default;
+
+   private:
+    std::uint64_t bits_;
+  };
+  [[nodiscard]] iterator begin() const { return iterator(bits_); }
+  [[nodiscard]] iterator end() const { return iterator(0); }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace ccref

@@ -1,0 +1,79 @@
+// Deterministic, seedable RNG (xoshiro256**) for workload generation and
+// property-test protocol fuzzing. We avoid std::mt19937 because its state is
+// large and its distributions are not reproducible across standard libraries;
+// simulation results in EXPERIMENTS.md must be exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "support/contracts.hpp"
+
+namespace ccref {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& word : s_) {
+      z += 0x9e3779b97f4a7c15ull;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      word = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    auto rotl = [](std::uint64_t x, int k) {
+      return (x << k) | (x >> (64 - k));
+    };
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    CCREF_REQUIRE(bound > 0);
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    CCREF_REQUIRE(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ccref

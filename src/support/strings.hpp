@@ -1,0 +1,28 @@
+// Small string helpers (no std::format in GCC 12's libstdc++).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccref {
+
+/// printf-style formatting into std::string.
+[[nodiscard]] std::string strf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Split on a delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char delim);
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Human-readable byte count ("1.5 MB").
+[[nodiscard]] std::string human_bytes(std::size_t n);
+
+/// Join pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+}  // namespace ccref

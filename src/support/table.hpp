@@ -1,0 +1,31 @@
+// ASCII table rendering for benchmark harnesses.
+//
+// Every bench binary reproduces a paper table; this prints aligned,
+// markdown-compatible rows so EXPERIMENTS.md can embed them verbatim.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccref {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ccref

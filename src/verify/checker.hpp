@@ -1,0 +1,193 @@
+// Explicit-state reachability checker (the library's stand-in for SPIN).
+//
+// Works over any System type providing:
+//   using State = ...;                              // value type
+//   State initial() const;
+//   std::vector<std::pair<State, sem::Label>> successors(const State&) const;
+//   void encode(const State&, ByteSink&) const;
+//   State decode(ByteSource&) const;
+//   std::string describe(const State&) const;
+//
+// Exploration is breadth-first using the visited set as the queue, so
+// counter-example traces are shortest. A memory budget bounds the visited
+// set; exhausting it yields Status::Unfinished — the paper's Table 3 term
+// for the asynchronous protocols that outgrew 64 MB.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sem/label.hpp"
+#include "support/bytes.hpp"
+#include "verify/state_set.hpp"
+
+namespace ccref::verify {
+
+enum class Status : std::uint8_t {
+  Ok,                 // full state space explored, no violations
+  Unfinished,         // memory budget exhausted (paper: "Unfinished")
+  InvariantViolated,  // a reachable state failed an invariant
+  Deadlock,           // a reachable state has no successors
+};
+
+[[nodiscard]] constexpr const char* to_string(Status s) {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::Unfinished: return "Unfinished";
+    case Status::InvariantViolated: return "invariant-violated";
+    case Status::Deadlock: return "deadlock";
+  }
+  return "?";
+}
+
+struct CheckResult {
+  Status status = Status::Ok;
+  std::size_t states = 0;       // distinct states stored
+  std::size_t transitions = 0;  // edges traversed
+  std::size_t memory_bytes = 0;
+  double seconds = 0;
+  std::string violation;           // message for violated invariant
+  std::vector<std::string> trace;  // labels root -> offending state
+};
+
+template <class Sys>
+struct CheckOptions {
+  std::size_t memory_limit = 64u << 20;  // the paper's 64 MB
+  bool detect_deadlock = true;
+  bool want_trace = true;
+  /// Return "" when the state is fine, otherwise the violation message.
+  std::function<std::string(const typename Sys::State&)> invariant;
+  /// Called on every traversed edge (used by the §4 simulation-relation
+  /// checker); return "" or a violation message.
+  std::function<std::string(const typename Sys::State&,
+                            const typename Sys::State&, const sem::Label&)>
+      edge_check;
+};
+
+namespace detail {
+
+template <class Sys>
+std::vector<std::byte> encode_state(const Sys& sys,
+                                    const typename Sys::State& s) {
+  ByteSink sink;
+  sys.encode(s, sink);
+  return sink.take();
+}
+
+/// Recompute the label sequence root -> `target` by replaying successor
+/// enumeration along the BFS parent chain (labels are not stored during
+/// exploration to keep the visited set lean).
+template <class Sys>
+std::vector<std::string> rebuild_trace(const Sys& sys, const StateSet& seen,
+                                       const std::vector<std::uint32_t>& parent,
+                                       std::uint32_t target) {
+  std::vector<std::uint32_t> chain;
+  for (std::uint32_t at = target; at != 0xffffffffu; at = parent[at])
+    chain.push_back(at);
+  std::vector<std::string> labels;
+  labels.push_back("initial: " +
+                   sys.describe([&] {
+                     ByteSource src(seen.at(chain.back()));
+                     return sys.decode(src);
+                   }()));
+  for (std::size_t i = chain.size(); i-- > 1;) {
+    ByteSource psrc(seen.at(chain[i]));
+    auto pstate = sys.decode(psrc);
+    auto child_bytes = seen.at(chain[i - 1]);
+    bool found = false;
+    for (auto& [succ, label] : sys.successors(pstate)) {
+      auto enc = encode_state(sys, succ);
+      if (enc.size() == child_bytes.size() &&
+          std::equal(enc.begin(), enc.end(), child_bytes.begin())) {
+        labels.push_back(label.text + "  =>  " + sys.describe(succ));
+        found = true;
+        break;
+      }
+    }
+    if (!found) labels.push_back("<trace reconstruction failed>");
+  }
+  return labels;
+}
+
+}  // namespace detail
+
+template <class Sys>
+[[nodiscard]] CheckResult explore(const Sys& sys,
+                                  const CheckOptions<Sys>& opts = {}) {
+  auto t0 = std::chrono::steady_clock::now();
+  CheckResult result;
+  StateSet seen(opts.memory_limit);
+  std::vector<std::uint32_t> parent;
+
+  auto finish = [&](Status status) {
+    result.status = status;
+    result.states = seen.size();
+    result.memory_bytes = seen.memory_used();
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+  };
+
+  auto fail_at = [&](Status status, std::uint32_t index, std::string msg) {
+    result.violation = std::move(msg);
+    if (opts.want_trace)
+      result.trace = detail::rebuild_trace(sys, seen, parent, index);
+    return finish(status);
+  };
+
+  {
+    auto root = sys.initial();
+    auto bytes = detail::encode_state(sys, root);
+    auto ins = seen.insert(bytes);
+    CCREF_ASSERT(ins.outcome == StateSet::Outcome::Inserted);
+    parent.push_back(0xffffffffu);
+    if (opts.invariant) {
+      std::string msg = opts.invariant(root);
+      if (!msg.empty())
+        return fail_at(Status::InvariantViolated, 0, std::move(msg));
+    }
+  }
+
+  for (std::uint32_t cursor = 0; cursor < seen.size(); ++cursor) {
+    ByteSource src(seen.at(cursor));
+    auto state = sys.decode(src);
+    auto succs = sys.successors(state);
+    if (succs.empty() && opts.detect_deadlock)
+      return fail_at(Status::Deadlock, cursor,
+                     "deadlock: no enabled transition in " +
+                         sys.describe(state));
+    for (auto& [succ, label] : succs) {
+      ++result.transitions;
+      if (opts.edge_check) {
+        std::string msg = opts.edge_check(state, succ, label);
+        if (!msg.empty())
+          return fail_at(Status::InvariantViolated, cursor,
+                         "edge '" + label.text + "': " + msg);
+      }
+      auto bytes = detail::encode_state(sys, succ);
+      auto ins = seen.insert(bytes);
+      switch (ins.outcome) {
+        case StateSet::Outcome::Exhausted:
+          return finish(Status::Unfinished);
+        case StateSet::Outcome::AlreadyPresent:
+          break;
+        case StateSet::Outcome::Inserted: {
+          parent.push_back(cursor);
+          if (opts.invariant) {
+            std::string msg = opts.invariant(succ);
+            if (!msg.empty())
+              return fail_at(Status::InvariantViolated, ins.index,
+                             std::move(msg));
+          }
+          break;
+        }
+      }
+    }
+  }
+  return finish(Status::Ok);
+}
+
+}  // namespace ccref::verify

@@ -1,0 +1,105 @@
+// Forward-progress (weak fairness) analysis — the paper's §2.5 guarantee.
+//
+// The refinement promises that *some* remote always makes progress: from
+// every reachable state, a rendezvous-completing transition must remain
+// reachable. A state from which no completion is ever reachable is *doomed*
+// (a livelock: the system can still move — nacks and retries forever — but
+// never completes another rendezvous). §3.2 motivates the progress buffer
+// with exactly this failure: "if the buffer is full and none of the requests
+// in the buffer can enable a guard in the home node ... the home node can no
+// longer make progress".
+//
+// check_progress() builds the reachable graph, seeds a backward search at
+// every state with an outgoing completing edge, and reports the states the
+// search never reaches. Deadlock states (no successors at all) are also
+// doomed.
+#pragma once
+
+#include "verify/checker.hpp"
+
+namespace ccref::verify {
+
+struct ProgressResult {
+  Status status = Status::Ok;  // Ok, or Unfinished on memory exhaustion
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  std::size_t completing_edges = 0;
+  std::size_t doomed = 0;         // states that can never complete again
+  std::string doomed_example;     // describe() of one doomed state
+  double seconds = 0;
+};
+
+template <class Sys>
+[[nodiscard]] ProgressResult check_progress(
+    const Sys& sys, std::size_t memory_limit = 256u << 20) {
+  auto t0 = std::chrono::steady_clock::now();
+  ProgressResult result;
+  StateSet seen(memory_limit);
+  // Reverse adjacency + per-state "has a completing out-edge" seed flag.
+  std::vector<std::vector<std::uint32_t>> rev;
+  std::vector<std::uint8_t> seed;
+
+  {
+    ByteSink sink;
+    sys.encode(sys.initial(), sink);
+    auto ins = seen.insert(sink.bytes());
+    CCREF_ASSERT(ins.outcome == StateSet::Outcome::Inserted);
+    rev.emplace_back();
+    seed.push_back(0);
+  }
+
+  for (std::uint32_t cursor = 0; cursor < seen.size(); ++cursor) {
+    ByteSource src(seen.at(cursor));
+    auto state = sys.decode(src);
+    for (auto& [succ, label] : sys.successors(state)) {
+      ++result.transitions;
+      ByteSink sink;
+      sys.encode(succ, sink);
+      auto ins = seen.insert(sink.bytes());
+      if (ins.outcome == StateSet::Outcome::Exhausted) {
+        result.status = Status::Unfinished;
+        result.states = seen.size();
+        return result;
+      }
+      if (ins.outcome == StateSet::Outcome::Inserted) {
+        rev.emplace_back();
+        seed.push_back(0);
+      }
+      rev[ins.index].push_back(cursor);
+      if (label.completes_rendezvous) {
+        ++result.completing_edges;
+        seed[cursor] = 1;
+      }
+    }
+  }
+  result.states = seen.size();
+
+  // Backward reachability from completing states.
+  std::vector<std::uint8_t> good = seed;
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t s = 0; s < good.size(); ++s)
+    if (good[s]) stack.push_back(s);
+  while (!stack.empty()) {
+    std::uint32_t at = stack.back();
+    stack.pop_back();
+    for (std::uint32_t pred : rev[at])
+      if (!good[pred]) {
+        good[pred] = 1;
+        stack.push_back(pred);
+      }
+  }
+  for (std::uint32_t s = 0; s < good.size(); ++s) {
+    if (good[s]) continue;
+    ++result.doomed;
+    if (result.doomed_example.empty()) {
+      ByteSource src(seen.at(s));
+      result.doomed_example = sys.describe(sys.decode(src));
+    }
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace ccref::verify

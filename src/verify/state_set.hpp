@@ -1,0 +1,133 @@
+// Memory-accounted visited-state set for explicit-state exploration.
+//
+// Open-addressing hash table over byte-encoded states, with all state bytes
+// appended to one pool. Insertion order is stable, so the set doubles as the
+// BFS queue (the cursor trick): states are numbered 0..size()-1 in discovery
+// order and retrievable by index.
+//
+// Memory accounting is explicit because Table 3 of the paper reports
+// verifications "limited to 64MB of memory": insert() refuses (returns
+// Exhausted) once pool + table + index bytes would exceed the limit, letting
+// the checker report `Unfinished` exactly like the paper does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "support/contracts.hpp"
+#include "support/hash.hpp"
+
+namespace ccref::verify {
+
+class StateSet {
+ public:
+  enum class Outcome : std::uint8_t { Inserted, AlreadyPresent, Exhausted };
+
+  struct InsertResult {
+    Outcome outcome;
+    std::uint32_t index;  // valid unless Exhausted
+  };
+
+  explicit StateSet(std::size_t memory_limit_bytes)
+      : limit_(memory_limit_bytes) {
+    table_.resize(kInitialSlots, kEmpty);
+  }
+
+  [[nodiscard]] InsertResult insert(std::span<const std::byte> state) {
+    const std::uint64_t h = hash_bytes(state);
+    std::size_t mask = table_.size() - 1;
+    std::size_t slot = h & mask;
+    for (;;) {
+      std::uint32_t e = table_[slot];
+      if (e == kEmpty) break;
+      if (entries_[e].hash == h && equals(e, state))
+        return {Outcome::AlreadyPresent, e};
+      slot = (slot + 1) & mask;
+    }
+
+    // Admission control: would this insert exceed the budget? Vector growth
+    // doubles capacity, so project the *post-growth* footprint.
+    auto grown = [](std::size_t cap, std::size_t need) {
+      return need <= cap ? cap : std::max(cap * 2, need);
+    };
+    std::size_t projected =
+        grown(pool_.capacity(), pool_.size() + state.size()) +
+        grown(entries_.capacity(), entries_.size() + 1) * sizeof(Entry) +
+        table_.capacity() * sizeof(std::uint32_t);
+    if (projected > limit_) return {Outcome::Exhausted, 0};
+
+    auto index = static_cast<std::uint32_t>(entries_.size());
+    CCREF_ASSERT_MSG(index != kEmpty, "state count overflow");
+    entries_.push_back({h, pool_.size(), static_cast<std::uint32_t>(
+                                             state.size())});
+    pool_.insert(pool_.end(), state.begin(), state.end());
+    table_[slot] = index;
+    if (entries_.size() * 10 > table_.size() * 7) {
+      if (!grow()) {
+        // Rolling back keeps the set consistent if the grow would burst the
+        // budget; the caller sees exhaustion on this insert.
+        table_[slot] = kEmpty;
+        pool_.resize(entries_.back().offset);
+        entries_.pop_back();
+        return {Outcome::Exhausted, 0};
+      }
+    }
+    return {Outcome::Inserted, index};
+  }
+
+  [[nodiscard]] std::span<const std::byte> at(std::uint32_t index) const {
+    CCREF_REQUIRE(index < entries_.size());
+    const Entry& e = entries_[index];
+    return {pool_.data() + e.offset, e.len};
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] std::size_t memory_used() const {
+    return pool_.capacity() + entries_.capacity() * sizeof(Entry) +
+           table_.capacity() * sizeof(std::uint32_t);
+  }
+
+  [[nodiscard]] std::size_t memory_limit() const { return limit_; }
+
+ private:
+  struct Entry {
+    std::uint64_t hash;
+    std::size_t offset;
+    std::uint32_t len;
+  };
+
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+  static constexpr std::size_t kInitialSlots = 1024;
+
+  [[nodiscard]] bool equals(std::uint32_t e,
+                            std::span<const std::byte> state) const {
+    const Entry& ent = entries_[e];
+    if (ent.len != state.size()) return false;
+    return std::equal(state.begin(), state.end(), pool_.begin() + ent.offset);
+  }
+
+  [[nodiscard]] bool grow() {
+    std::size_t new_slots = table_.size() * 2;
+    if (memory_used() + new_slots * sizeof(std::uint32_t) > limit_)
+      return false;
+    std::vector<std::uint32_t> fresh(new_slots, kEmpty);
+    std::size_t mask = new_slots - 1;
+    for (std::uint32_t e = 0; e < entries_.size(); ++e) {
+      std::size_t slot = entries_[e].hash & mask;
+      while (fresh[slot] != kEmpty) slot = (slot + 1) & mask;
+      fresh[slot] = e;
+    }
+    table_ = std::move(fresh);
+    return true;
+  }
+
+  std::size_t limit_;
+  std::vector<std::byte> pool_;
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> table_;
+};
+
+}  // namespace ccref::verify

@@ -1,0 +1,25 @@
+// Graphviz DOT export: regenerates the paper's protocol diagrams.
+//
+// rendezvous_dot() renders a Process as in Figures 1-3 (solid communication
+// states, dashed internal states, edges labelled with guards). refined_dot()
+// renders the asynchronous machine as in Figures 4-5: transient states appear
+// as dotted circles, fused request/reply edges use the "!!"/"??" notation,
+// and elide-ack edges are drawn dotted like the hand design's LR arrows.
+#pragma once
+
+#include <string>
+
+#include "ir/process.hpp"
+#include "refine/refined.hpp"
+
+namespace ccref::viz {
+
+/// DOT for one process of the rendezvous protocol (Figures 1-3).
+[[nodiscard]] std::string rendezvous_dot(const ir::Protocol& protocol,
+                                         const ir::Process& process);
+
+/// DOT for the refined asynchronous machine of one process (Figures 4-5).
+[[nodiscard]] std::string refined_dot(const refine::RefinedProtocol& refined,
+                                      const ir::Process& process);
+
+}  // namespace ccref::viz

@@ -1,0 +1,152 @@
+// Random star-protocol generator for property-based testing.
+//
+// Generates type-correct protocols inside the paper's §2.4 fragment:
+// messages are assigned a direction (remote->home or home->remote) up
+// front; remote communication states are either single-output active or
+// passive; the home mixes generalized inputs, targeted outputs, and τs.
+// Every generated protocol passes ir::validate by construction, so the
+// property suites can focus on semantic properties of the refinement:
+// Equation-1 soundness on every reachable asynchronous edge and progress
+// preservation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace ccref::fuzz {
+
+struct GenOptions {
+  int min_msgs = 2, max_msgs = 4;
+  int min_states = 2, max_states = 4;  // per process
+  double payload_prob = 0.5;           // chance a message carries an int
+  double cond_prob = 0.3;              // chance a guard is conditional
+  double tau_prob = 0.4;               // chance a passive state gets a τ
+};
+
+inline ir::Protocol random_protocol(std::uint64_t seed,
+                                    const GenOptions& g = {}) {
+  Rng rng(seed);
+  ir::ProtocolBuilder b(strf("fuzz%llu", (unsigned long long)seed));
+
+  // ---- messages with fixed directions and known arity ----
+  const int nmsgs = static_cast<int>(rng.range(g.min_msgs, g.max_msgs));
+  std::vector<ir::MsgId> up, down;  // remote->home, home->remote
+  std::vector<int> arity;           // indexed by MsgId
+  for (int m = 0; m < nmsgs; ++m) {
+    bool with_payload = rng.chance(g.payload_prob);
+    ir::MsgId id = b.msg(strf("m%d", m),
+                         with_payload ? std::vector<ir::Type>{ir::Type::Int}
+                                      : std::vector<ir::Type>{});
+    arity.push_back(with_payload ? 1 : 0);
+    if (m == 0 || (m > 1 && rng.chance(0.5)))
+      up.push_back(id);
+    else
+      down.push_back(id);
+  }
+  if (down.empty()) {
+    down.push_back(b.msg("mdown"));
+    arity.push_back(0);
+  }
+
+  // ---- home ----
+  auto& h = b.home();
+  ir::VarId hj = h.var("j", ir::Type::Node);
+  ir::VarId hx = h.var("x", ir::Type::Int, 0, 2);
+  const int hn = static_cast<int>(rng.range(g.min_states, g.max_states));
+  for (int s = 0; s < hn; ++s) h.comm(strf("H%d", s));
+
+  auto hstate = [&](int s) { return strf("H%d", s); };
+  auto h_rand_state = [&]() {
+    return hstate(static_cast<int>(rng.range(0, hn - 1)));
+  };
+  auto hcond = [&]() -> ir::ExprP {
+    if (!rng.chance(g.cond_prob)) return nullptr;
+    return ir::ex::eq(ir::ex::var(hx), ir::ex::lit(rng.range(0, 1)));
+  };
+  auto haction = [&]() -> ir::StmtP {
+    if (!rng.chance(0.4)) return nullptr;
+    return ir::st::assign(hx, ir::ex::add(ir::ex::var(hx), ir::ex::lit(1)));
+  };
+
+  // Every up-message has one unconditional receiver state; every
+  // down-message one unconditional sender state — so no message is dead by
+  // construction. Extra conditional guards are sprinkled on top.
+  std::vector<int> up_receiver(up.size()), down_sender(down.size());
+  for (std::size_t i = 0; i < up.size(); ++i)
+    up_receiver[i] = static_cast<int>(rng.range(0, hn - 1));
+  for (std::size_t i = 0; i < down.size(); ++i)
+    down_sender[i] = static_cast<int>(rng.range(0, hn - 1));
+
+  for (int s = 0; s < hn; ++s) {
+    bool has_guard = false;
+    for (std::size_t i = 0; i < up.size(); ++i) {
+      bool mandatory = up_receiver[i] == s;
+      if (!mandatory && !rng.chance(0.25)) continue;
+      has_guard = true;
+      auto& ib = h.input(hstate(s), up[i]).from_any(hj);
+      if (!mandatory) {
+        if (auto c = hcond()) ib.when(c);
+      }
+      if (arity[up[i]] == 1) ib.bind({hx});
+      if (auto a = haction()) ib.act(a);
+      ib.go(h_rand_state());
+    }
+    for (std::size_t i = 0; i < down.size(); ++i) {
+      bool mandatory = down_sender[i] == s;
+      if (!mandatory && !rng.chance(0.25)) continue;
+      has_guard = true;
+      auto& ob = h.output(hstate(s), down[i]).to(ir::ex::var(hj));
+      if (!mandatory) {
+        if (auto c = hcond()) ob.when(c);
+      }
+      if (arity[down[i]] == 1) ob.pay({ir::ex::var(hx)});
+      if (auto a = haction()) ob.act(a);
+      ob.go(h_rand_state());
+    }
+    if (!has_guard || rng.chance(0.2))
+      h.tau(hstate(s), strf("t%d", s)).go(h_rand_state());
+  }
+
+  // ---- remote ----
+  auto& r = b.remote();
+  ir::VarId rd = r.var("d", ir::Type::Int, 0, 2);
+  const int rn = static_cast<int>(rng.range(g.min_states, g.max_states));
+  std::vector<bool> active(rn);
+  for (int s = 0; s < rn; ++s) {
+    active[s] = rng.chance(0.5);
+    r.comm(strf("R%d", s));
+  }
+  auto rstate = [&](int s) { return strf("R%d", s); };
+  auto r_rand_state = [&]() {
+    return rstate(static_cast<int>(rng.range(0, rn - 1)));
+  };
+  for (int s = 0; s < rn; ++s) {
+    if (active[s]) {
+      ir::MsgId m = up[rng.below(up.size())];
+      auto& ob = r.output(rstate(s), m);
+      if (arity[m] == 1) ob.pay({ir::ex::var(rd)});
+      if (rng.chance(0.4))
+        ob.act(ir::st::assign(rd,
+                              ir::ex::add(ir::ex::var(rd), ir::ex::lit(1))));
+      ob.go(r_rand_state());
+    } else {
+      int inputs = static_cast<int>(rng.range(1, 2));
+      for (int gi = 0; gi < inputs; ++gi) {
+        ir::MsgId m = down[rng.below(down.size())];
+        auto& ib = r.input(rstate(s), m);
+        if (arity[m] == 1) ib.bind({rd});
+        ib.go(r_rand_state());
+      }
+      if (rng.chance(g.tau_prob))
+        r.tau(rstate(s), strf("u%d", s)).go(r_rand_state());
+    }
+  }
+
+  return b.build();
+}
+
+}  // namespace ccref::fuzz

@@ -1,0 +1,454 @@
+// Unit tests for the protocol IR: expression evaluation and typing,
+// statement execution, the builder, validation of the paper's §2.4
+// restrictions, and the pretty-printer.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/print.hpp"
+#include "ir/store.hpp"
+#include "ir/validate.hpp"
+
+namespace ccref::ir {
+namespace {
+
+using ex::add;
+using ex::boolean;
+using ex::eq;
+using ex::land;
+using ex::lit;
+using ex::lor;
+using ex::lt;
+using ex::ne;
+using ex::negate;
+using ex::self;
+using ex::set_contains;
+using ex::set_empty;
+using ex::set_size;
+using ex::sub;
+using ex::var;
+
+/// A tiny process context: x:int mod 4, b:bool, n:node, s:nodeset.
+struct Fixture {
+  Process proc;
+  VarId x, b, n, s;
+  Store store;
+
+  Fixture() {
+    proc.name = "p";
+    proc.role = Role::Remote;
+    proc.vars = {
+        {"x", Type::Int, 1, 4},
+        {"b", Type::Bool, 0, 2},
+        {"n", Type::Node, 2, 2},
+        {"s", Type::NodeSet, 0, 2},
+    };
+    x = 0;
+    b = 1;
+    n = 2;
+    s = 3;
+    proc.states.push_back({"only", StateKind::Comm, {}, {}, {}});
+    store = Store(proc.vars);
+  }
+
+  std::int64_t ev(const ExprP& e, int self_id = 5) const {
+    return eval(*e, store, EvalCtx{self_id});
+  }
+  void run(const StmtP& st, int self_id = 5) {
+    exec(*st, store, proc.vars, EvalCtx{self_id});
+  }
+};
+
+// ---- expression evaluation -------------------------------------------------
+
+TEST(Expr, Literals) {
+  Fixture f;
+  EXPECT_EQ(f.ev(lit(7)), 7);
+  EXPECT_EQ(f.ev(boolean(true)), 1);
+  EXPECT_EQ(f.ev(boolean(false)), 0);
+  EXPECT_EQ(f.ev(ex::empty_set()), 0);
+}
+
+TEST(Expr, VarRefReadsStore) {
+  Fixture f;
+  EXPECT_EQ(f.ev(var(f.x)), 1);
+  f.store.set(f.x, 3);
+  EXPECT_EQ(f.ev(var(f.x)), 3);
+}
+
+TEST(Expr, SelfIdUsesContext) {
+  Fixture f;
+  EXPECT_EQ(f.ev(self(), 9), 9);
+}
+
+TEST(Expr, Arithmetic) {
+  Fixture f;
+  EXPECT_EQ(f.ev(add(lit(2), lit(3))), 5);
+  EXPECT_EQ(f.ev(sub(lit(2), lit(3))), -1);  // unbounded until assignment
+  EXPECT_EQ(f.ev(add(var(f.x), lit(1))), 2);
+}
+
+TEST(Expr, Comparisons) {
+  Fixture f;
+  EXPECT_EQ(f.ev(eq(lit(2), lit(2))), 1);
+  EXPECT_EQ(f.ev(ne(lit(2), lit(2))), 0);
+  EXPECT_EQ(f.ev(lt(lit(1), lit(2))), 1);
+  EXPECT_EQ(f.ev(ex::le(lit(2), lit(2))), 1);
+  EXPECT_EQ(f.ev(lt(lit(2), lit(2))), 0);
+}
+
+TEST(Expr, BooleanConnectives) {
+  Fixture f;
+  EXPECT_EQ(f.ev(land(boolean(true), boolean(false))), 0);
+  EXPECT_EQ(f.ev(lor(boolean(true), boolean(false))), 1);
+  EXPECT_EQ(f.ev(negate(boolean(false))), 1);
+}
+
+TEST(Expr, SetOperations) {
+  Fixture f;
+  NodeSet nodes;
+  nodes.add(1);
+  nodes.add(3);
+  f.store.set(f.s, nodes.bits());
+  EXPECT_EQ(f.ev(set_empty(var(f.s))), 0);
+  EXPECT_EQ(f.ev(set_size(var(f.s))), 2);
+  EXPECT_EQ(f.ev(set_contains(var(f.s), lit(1))), 1);
+  EXPECT_EQ(f.ev(set_contains(var(f.s), lit(2))), 0);
+  f.store.set(f.s, 0);
+  EXPECT_EQ(f.ev(set_empty(var(f.s))), 1);
+}
+
+TEST(Expr, StructuralEquality) {
+  auto a = add(var(0), lit(1));
+  auto b = add(var(0), lit(1));
+  auto c = add(var(1), lit(1));
+  EXPECT_TRUE(expr_equal(*a, *b));
+  EXPECT_FALSE(expr_equal(*a, *c));
+  EXPECT_FALSE(expr_equal(*a, *lit(1)));
+}
+
+TEST(Expr, PrintReadable) {
+  Fixture f;
+  EXPECT_EQ(to_string(*add(var(f.x), lit(1)), f.proc), "(x + 1)");
+  EXPECT_EQ(to_string(*set_contains(var(f.s), var(f.n)), f.proc),
+            "(n in s)");
+  EXPECT_EQ(to_string(*self(), f.proc), "self");
+}
+
+// ---- statement execution ---------------------------------------------------
+
+TEST(Stmt, AssignReducesModuloBound) {
+  Fixture f;
+  f.run(st::assign(f.x, lit(7)));  // bound 4
+  EXPECT_EQ(f.store.get(f.x), 3u);
+  f.run(st::assign(f.x, sub(lit(0), lit(1))));  // -1 wraps to 3
+  EXPECT_EQ(f.store.get(f.x), 3u);
+}
+
+TEST(Stmt, AssignNodeAndBool) {
+  Fixture f;
+  f.run(st::assign(f.n, lit(1)));
+  EXPECT_EQ(f.store.get(f.n), 1u);
+  f.run(st::assign(f.b, boolean(true)));
+  EXPECT_EQ(f.store.get(f.b), 1u);
+}
+
+TEST(Stmt, SetAddRemove) {
+  Fixture f;
+  f.run(st::set_add(f.s, lit(2)));
+  f.run(st::set_add(f.s, lit(5)));
+  EXPECT_EQ(NodeSet(f.store.get(f.s)).size(), 2);
+  f.run(st::set_remove(f.s, lit(2)));
+  EXPECT_FALSE(NodeSet(f.store.get(f.s)).contains(2));
+  EXPECT_TRUE(NodeSet(f.store.get(f.s)).contains(5));
+}
+
+TEST(Stmt, SeqRunsInOrder) {
+  Fixture f;
+  f.run(st::seq({st::assign(f.x, lit(2)),
+                 st::assign(f.x, add(var(f.x), lit(1)))}));
+  EXPECT_EQ(f.store.get(f.x), 3u);
+}
+
+TEST(Stmt, NopAndIsNop) {
+  Fixture f;
+  auto before = f.store;
+  f.run(st::nop());
+  EXPECT_EQ(f.store, before);
+  EXPECT_TRUE(is_nop(*st::nop()));
+  EXPECT_TRUE(is_nop(*st::seq({st::nop(), st::nop()})));
+  EXPECT_FALSE(is_nop(*st::assign(f.x, lit(0))));
+}
+
+TEST(Stmt, EqualityStructural) {
+  auto a = st::assign(0, lit(1));
+  auto b = st::assign(0, lit(1));
+  auto c = st::assign(1, lit(1));
+  EXPECT_TRUE(stmt_equal(*a, *b));
+  EXPECT_FALSE(stmt_equal(*a, *c));
+}
+
+// ---- builder + validation --------------------------------------------------
+
+/// Minimal valid ping/pong protocol through the builder.
+Protocol ping_pong() {
+  ProtocolBuilder b("pingpong");
+  MsgId PING = b.msg("ping");
+  MsgId PONG = b.msg("pong", {Type::Int});
+
+  auto& h = b.home();
+  VarId j = h.var("j", Type::Node);
+  VarId d = h.var("d", Type::Int, 0, 2);
+  h.comm("IDLE").initial();
+  h.comm("REPLY");
+  h.input("IDLE", PING).from_any(j).go("REPLY");
+  h.output("REPLY", PONG).to(var(j)).pay({var(d)}).go("IDLE");
+
+  auto& r = b.remote();
+  VarId got = r.var("got", Type::Int, 0, 2);
+  r.internal("THINK");
+  r.comm("ASK");
+  r.comm("WAIT");
+  r.tau("THINK", "go").go("ASK");
+  r.output("ASK", PING).to_home().go("WAIT");
+  r.input("WAIT", PONG).from_home().bind({got}).go("THINK");
+  return b.build();
+}
+
+TEST(Builder, BuildsPingPong) {
+  Protocol p = ping_pong();
+  EXPECT_EQ(p.messages.size(), 2u);
+  EXPECT_EQ(p.home.states.size(), 2u);
+  EXPECT_EQ(p.remote.states.size(), 3u);
+  EXPECT_EQ(p.home.initial, p.home.find_state("IDLE"));
+  EXPECT_EQ(p.remote.initial, p.remote.find_state("THINK"));
+  EXPECT_EQ(p.find_message("pong"), 1);
+}
+
+TEST(Builder, DanglingStateNameAborts) {
+  ProtocolBuilder b("bad");
+  MsgId M = b.msg("m");
+  b.home().comm("A");
+  b.home().var("j", Type::Node);
+  b.home().input("A", M).from_any().go("NOWHERE");
+  b.remote().comm("B");
+  b.remote().output("B", M).to_home().go("B");
+  EXPECT_DEATH((void)b.build(), "undeclared state");
+}
+
+TEST(Validate, PingPongIsClean) {
+  Protocol p = ping_pong();
+  auto diags = validate(p);
+  EXPECT_FALSE(has_errors(diags)) << to_string(diags);
+}
+
+TEST(Validate, RemoteActiveStateMustBeSingleOutput) {
+  ProtocolBuilder b("bad");
+  MsgId A = b.msg("a");
+  MsgId Bm = b.msg("b");
+  auto& h = b.home();
+  h.var("j", Type::Node);
+  h.comm("H");
+  h.input("H", A).from_any().go("H");
+  h.input("H", Bm).from_any().go("H");
+  auto& r = b.remote();
+  r.comm("S");
+  // Two output guards in one remote comm state violates §2.4.
+  r.output("S", A).to_home().go("S");
+  r.output("S", Bm).to_home().go("S");
+  auto diags = validate(b.build());
+  EXPECT_TRUE(has_errors(diags));
+  EXPECT_NE(to_string(diags).find("active state"), std::string::npos);
+}
+
+TEST(Validate, RemoteCannotAddressOtherRemotes) {
+  ProtocolBuilder b("bad");
+  MsgId M = b.msg("m");
+  auto& h = b.home();
+  h.var("j", Type::Node);
+  h.comm("H");
+  h.input("H", M).from_any().go("H");
+  auto& r = b.remote();
+  r.comm("S");
+  r.output("S", M).to(lit(1)).go("S");  // star topology violation
+  auto diags = validate(b.build());
+  EXPECT_TRUE(has_errors(diags));
+  EXPECT_NE(to_string(diags).find("star topology"), std::string::npos);
+}
+
+TEST(Validate, InternalStateNeedsTau) {
+  ProtocolBuilder b("bad");
+  MsgId M = b.msg("m");
+  auto& h = b.home();
+  h.var("j", Type::Node);
+  h.comm("H");
+  h.input("H", M).from_any().go("H");
+  auto& r = b.remote();
+  r.internal("STUCK");
+  r.comm("S");
+  r.output("S", M).to_home().go("S");
+  auto diags = validate(b.build());
+  EXPECT_TRUE(has_errors(diags));
+  EXPECT_NE(to_string(diags).find("no τ move"), std::string::npos);
+}
+
+TEST(Validate, PayloadArityChecked) {
+  ProtocolBuilder b("bad");
+  MsgId M = b.msg("m", {Type::Int});
+  auto& h = b.home();
+  h.var("j", Type::Node);
+  h.comm("H");
+  h.input("H", M).from_any().go("H");  // binds nothing: allowed (ignore all)
+  auto& r = b.remote();
+  r.comm("S");
+  r.output("S", M).to_home().go("S");  // supplies no payload: error
+  auto diags = validate(b.build());
+  EXPECT_TRUE(has_errors(diags));
+  EXPECT_NE(to_string(diags).find("payload"), std::string::npos);
+}
+
+TEST(Validate, PayloadTypeChecked) {
+  ProtocolBuilder b("bad");
+  MsgId M = b.msg("m", {Type::Int});
+  auto& h = b.home();
+  h.var("j", Type::Node);
+  h.comm("H");
+  h.input("H", M).from_any().go("H");
+  auto& r = b.remote();
+  VarId flag = r.var("flag", Type::Bool);
+  r.comm("S");
+  r.output("S", M).to_home().pay({var(flag)}).go("S");
+  auto diags = validate(b.build());
+  EXPECT_TRUE(has_errors(diags));
+}
+
+TEST(Validate, SelfOnlyInRemote) {
+  ProtocolBuilder b("bad");
+  MsgId M = b.msg("m", {Type::Node});
+  auto& h = b.home();
+  VarId j = h.var("j", Type::Node);
+  h.comm("H");
+  h.output("H", M).to(var(j)).pay({self()}).go("H");
+  auto& r = b.remote();
+  r.comm("S");
+  r.input("S", M).from_home().go("S");
+  auto diags = validate(b.build());
+  EXPECT_TRUE(has_errors(diags));
+  EXPECT_NE(to_string(diags).find("self"), std::string::npos);
+}
+
+TEST(Validate, UnreachableStateWarns) {
+  ProtocolBuilder b("warny");
+  MsgId M = b.msg("m");
+  auto& h = b.home();
+  h.var("j", Type::Node);
+  h.comm("H").initial();
+  h.comm("ISLAND");
+  h.input("H", M).from_any().go("H");
+  h.input("ISLAND", M).from_any().go("ISLAND");
+  auto& r = b.remote();
+  r.comm("S");
+  r.output("S", M).to_home().go("S");
+  auto diags = validate(b.build());
+  EXPECT_FALSE(has_errors(diags)) << to_string(diags);
+  EXPECT_NE(to_string(diags).find("unreachable"), std::string::npos);
+}
+
+TEST(Validate, UnusedMessageWarns) {
+  ProtocolBuilder b("warny");
+  MsgId M = b.msg("m");
+  (void)b.msg("never");
+  auto& h = b.home();
+  h.var("j", Type::Node);
+  h.comm("H");
+  h.input("H", M).from_any().go("H");
+  auto& r = b.remote();
+  r.comm("S");
+  r.output("S", M).to_home().go("S");
+  auto diags = validate(b.build());
+  EXPECT_FALSE(has_errors(diags));
+  EXPECT_NE(to_string(diags).find("never used"), std::string::npos);
+}
+
+TEST(Validate, OneWayMessageWarns) {
+  ProtocolBuilder b("warny");
+  MsgId M = b.msg("m");
+  MsgId ORPHAN = b.msg("orphan");
+  auto& h = b.home();
+  h.var("j", Type::Node);
+  h.comm("H");
+  h.input("H", M).from_any().go("H");
+  auto& r = b.remote();
+  r.comm("S");
+  r.comm("S2");
+  r.output("S", M).to_home().go("S2");
+  r.output("S2", ORPHAN).to_home().go("S");  // nobody ever receives it
+  auto diags = validate(b.build());
+  EXPECT_NE(to_string(diags).find("never"), std::string::npos);
+}
+
+// ---- type inference --------------------------------------------------------
+
+TEST(TypeOf, InfersCorrectTypes) {
+  Fixture f;
+  std::string err;
+  EXPECT_EQ(type_of(*lit(1), f.proc, &err), Type::Int);
+  EXPECT_EQ(type_of(*var(f.s), f.proc, &err), Type::NodeSet);
+  EXPECT_EQ(type_of(*set_size(var(f.s)), f.proc, &err), Type::Int);
+  EXPECT_EQ(type_of(*eq(var(f.n), self()), f.proc, &err), Type::Bool);
+}
+
+TEST(TypeOf, RejectsMixedComparison) {
+  Fixture f;
+  std::string err;
+  EXPECT_EQ(type_of(*eq(var(f.n), lit(1)), f.proc, &err), std::nullopt);
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(TypeOf, RejectsLogicOnInts) {
+  Fixture f;
+  std::string err;
+  EXPECT_EQ(type_of(*land(lit(1), boolean(true)), f.proc, &err),
+            std::nullopt);
+}
+
+// ---- printer ---------------------------------------------------------------
+
+TEST(Print, ProtocolListingMentionsEverything) {
+  Protocol p = ping_pong();
+  std::string out = to_string(p);
+  EXPECT_NE(out.find("protocol pingpong"), std::string::npos);
+  EXPECT_NE(out.find("message ping"), std::string::npos);
+  EXPECT_NE(out.find("message pong(int)"), std::string::npos);
+  EXPECT_NE(out.find("home h"), std::string::npos);
+  EXPECT_NE(out.find("remote r"), std::string::npos);
+  EXPECT_NE(out.find("state IDLE initial"), std::string::npos);
+  EXPECT_NE(out.find("internal THINK"), std::string::npos);
+  EXPECT_NE(out.find("r(any j)?ping"), std::string::npos);
+  EXPECT_NE(out.find("h!ping"), std::string::npos);
+  EXPECT_NE(out.find("h?pong(got)"), std::string::npos);
+}
+
+TEST(Print, GuardWithConditionAndAction) {
+  Fixture f;
+  // Build a guard by hand and render it.
+  Protocol proto;
+  proto.name = "t";
+  proto.messages = {{"m", {Type::Int}}};
+  proto.remote = f.proc;
+  proto.remote.role = Role::Remote;
+  OutputGuard g;
+  g.cond = eq(var(f.x), lit(1));
+  g.to = {PeerSel::Kind::Home, nullptr};
+  g.msg = 0;
+  g.payload = {var(f.x)};
+  g.action = st::assign(f.x, lit(0));
+  g.next = 0;
+  std::string s = to_string(g, proto.remote, proto);
+  EXPECT_NE(s.find("[(x == 1)]"), std::string::npos);
+  EXPECT_NE(s.find("h!m(x)"), std::string::npos);
+  EXPECT_NE(s.find("{ x := 0 }"), std::string::npos);
+  EXPECT_NE(s.find("-> only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccref::ir

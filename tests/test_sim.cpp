@@ -1,0 +1,212 @@
+// Tests for the workload-driven simulator: determinism, completion, message
+// accounting (the §3.3 fusion savings and the §5 hand-design comparison),
+// buffer-size effects (§6), and fairness measurement.
+#include <gtest/gtest.h>
+
+#include "protocols/invalidate.hpp"
+#include "protocols/migratory.hpp"
+#include "refine/refined.hpp"
+#include "runtime/async_system.hpp"
+#include "sim/simulator.hpp"
+
+namespace ccref::sim {
+namespace {
+
+using refine::Options;
+using runtime::AsyncSystem;
+
+SimStats run_migratory(int n, int cycles, Options opts = {},
+                       std::uint64_t seed = 7) {
+  opts.channel_capacity = 8;  // simulation approximates the infinite network
+  auto p = protocols::make_migratory();
+  auto rp = refine::refine(p, opts);
+  AsyncSystem sys(rp, n);
+  auto w = migratory_workload(p, n, cycles);
+  SimOptions sopts;
+  sopts.seed = seed;
+  // The protocol object must outlive the stats; run synchronously.
+  return simulate(sys, w, sopts);
+}
+
+TEST(Sim, MigratorySingleRemoteCompletes) {
+  auto stats = run_migratory(1, 10);
+  EXPECT_TRUE(stats.finished) << stats.stall;
+  EXPECT_EQ(stats.ops_total, 20u);  // 10 acquires + 10 releases
+  EXPECT_EQ(stats.remotes[0].ops_completed, 20u);
+}
+
+TEST(Sim, MigratoryManyRemotesComplete) {
+  auto stats = run_migratory(6, 5);
+  EXPECT_TRUE(stats.finished) << stats.stall;
+  EXPECT_EQ(stats.ops_total, 60u);
+}
+
+TEST(Sim, DeterministicForSeed) {
+  auto a = run_migratory(4, 5, {}, 99);
+  auto b = run_migratory(4, 5, {}, 99);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.messages(), b.messages());
+  auto c = run_migratory(4, 5, {}, 100);
+  // Different schedules virtually always differ in step count.
+  EXPECT_TRUE(a.steps != c.steps || a.messages() != c.messages());
+}
+
+TEST(Sim, SingleRemoteMessageCountsAreExact) {
+  // One remote, no contention: each acquire is the fused req/gr pair
+  // (2 messages), each release is LR + ack (2 messages). No nacks.
+  auto stats = run_migratory(1, 10);
+  EXPECT_EQ(stats.req, 20u);   // 10 req + 10 LR
+  EXPECT_EQ(stats.repl, 10u);  // 10 gr
+  EXPECT_EQ(stats.ack, 10u);   // 10 LR acks
+  EXPECT_EQ(stats.nack, 0u);
+  EXPECT_DOUBLE_EQ(stats.msgs_per_op(), 2.0);
+}
+
+TEST(Sim, FusionSavesMessages) {
+  Options fused;
+  Options plain;
+  plain.request_reply_fusion = false;
+  auto with = run_migratory(4, 10, fused);
+  auto without = run_migratory(4, 10, plain);
+  ASSERT_TRUE(with.finished) << with.stall;
+  ASSERT_TRUE(without.finished) << without.stall;
+  // The generic scheme needs an explicit ack per rendezvous; fusion halves
+  // the message count for the req/gr and inv/ID pairs.
+  EXPECT_LT(with.msgs_per_op(), without.msgs_per_op());
+  EXPECT_GT(without.ack, with.ack);
+}
+
+TEST(Sim, HandDesignSavesTheLRAck) {
+  Options refined;
+  Options hand;
+  hand.elide_ack = {"LR"};
+  auto a = run_migratory(1, 20, refined);
+  auto b = run_migratory(1, 20, hand);
+  ASSERT_TRUE(a.finished) << a.stall;
+  ASSERT_TRUE(b.finished) << b.stall;
+  // Exactly one ack per release disappears; the paper: "the loss of
+  // efficiency due to the extra ack is small".
+  EXPECT_EQ(a.ack - b.ack, 20u);
+  EXPECT_EQ(a.req, b.req);
+  EXPECT_EQ(a.repl, b.repl);
+}
+
+TEST(Sim, ContentionCausesNacksWithMinimalBuffer) {
+  // k=2 with many contending remotes must produce nacks (requests bounce).
+  auto stats = run_migratory(8, 10);
+  ASSERT_TRUE(stats.finished) << stats.stall;
+  EXPECT_GT(stats.nack, 0u);
+}
+
+TEST(Sim, LargerBufferReducesNacks) {
+  Options small;  // k = 2
+  Options big;
+  big.home_buffer_capacity = 9;
+  auto a = run_migratory(8, 10, small);
+  auto b = run_migratory(8, 10, big);
+  ASSERT_TRUE(a.finished) << a.stall;
+  ASSERT_TRUE(b.finished) << b.stall;
+  EXPECT_LT(b.nack, a.nack);
+}
+
+TEST(Sim, FairnessIndexReasonableUnderContention) {
+  auto stats = run_migratory(6, 10);
+  ASSERT_TRUE(stats.finished);
+  // Every remote completes its fixed workload, so the index is exactly 1;
+  // the interesting spread shows up in latency instead.
+  EXPECT_DOUBLE_EQ(stats.fairness_index(), 1.0);
+  std::uint64_t max_latency = 0;
+  for (const auto& r : stats.remotes)
+    max_latency = std::max(max_latency, r.latency_max);
+  EXPECT_GT(max_latency, 0u);
+}
+
+TEST(Sim, InvalidateWorkloadCompletes) {
+  auto p = protocols::make_invalidate();
+  Options opts;
+  opts.channel_capacity = 8;
+  auto rp = refine::refine(p, opts);
+  AsyncSystem sys(rp, 4);
+  auto w = invalidate_workload(p, 4, 10, 0.3, 42);
+  SimOptions sopts;
+  sopts.seed = 5;
+  auto stats = simulate(sys, w, sopts);
+  EXPECT_TRUE(stats.finished) << stats.stall;
+  EXPECT_EQ(stats.ops_total, 80u);
+  EXPECT_GT(stats.completions, 0u);
+}
+
+TEST(Sim, InvalidateReadsShareWritesExclude) {
+  // All-read workload completes with strictly fewer messages than all-write
+  // (no invalidation sweeps needed).
+  auto p = protocols::make_invalidate();
+  Options opts;
+  opts.channel_capacity = 8;
+  auto rp = refine::refine(p, opts);
+  AsyncSystem sys(rp, 4);
+  SimOptions sopts;
+  sopts.seed = 5;
+  auto reads = simulate(sys, invalidate_workload(p, 4, 10, 0.0, 42), sopts);
+  auto writes = simulate(sys, invalidate_workload(p, 4, 10, 1.0, 42), sopts);
+  ASSERT_TRUE(reads.finished) << reads.stall;
+  ASSERT_TRUE(writes.finished) << writes.stall;
+  EXPECT_LT(reads.messages(), writes.messages());
+}
+
+TEST(Sim, WorkloadGeneratorShapes) {
+  auto p = protocols::make_migratory();
+  auto w = migratory_workload(p, 3, 4);
+  ASSERT_EQ(w.per_remote.size(), 3u);
+  EXPECT_EQ(w.total_ops(), 24u);
+  EXPECT_EQ(w.per_remote[0][0].name, "acquire");
+  EXPECT_EQ(w.per_remote[0][1].name, "release");
+
+  auto iv = protocols::make_invalidate();
+  auto wi = invalidate_workload(iv, 2, 50, 0.5, 1);
+  int writes = 0;
+  for (const auto& op : wi.per_remote[0])
+    if (op.name == "write") ++writes;
+  EXPECT_GT(writes, 10);
+  EXPECT_LT(writes, 40);
+}
+
+TEST(Sim, StallReportedWhenWorkloadImpossible) {
+  // An op whose goal can never be reached (D1 needs an invalidation, but
+  // there is no second remote) must hit the step budget and report a stall.
+  auto p = protocols::make_migratory();
+  auto rp = refine::refine(p);
+  AsyncSystem sys(rp, 1);
+  Workload w;
+  w.vocabulary = {"req", "evict"};
+  w.per_remote.resize(1);
+  w.per_remote[0].push_back(
+      {"impossible", {"req"}, p.remote.find_state("D1")});
+  SimOptions sopts;
+  sopts.max_steps = 1000;
+  auto stats = simulate(sys, w, sopts);
+  EXPECT_FALSE(stats.finished);
+  EXPECT_FALSE(stats.stall.empty());
+}
+
+TEST(Sim, ObligatoryActionsAreNeverGated) {
+  // A remote whose workload is exhausted must still answer invalidations:
+  // r0 acquires then goes quiet holding the line; r1's acquire triggers an
+  // inv that r0 must answer despite having no ops left.
+  auto p = protocols::make_migratory();
+  auto rp = refine::refine(p);
+  AsyncSystem sys(rp, 2);
+  Workload w;
+  w.vocabulary = {"req", "evict"};
+  w.per_remote.resize(2);
+  const ir::StateId goal_v = p.remote.find_state("V");
+  w.per_remote[0].push_back({"acquire", {"req"}, goal_v});
+  w.per_remote[1].push_back({"acquire", {"req"}, goal_v});
+  SimOptions sopts;
+  sopts.seed = 3;
+  auto stats = simulate(sys, w, sopts);
+  EXPECT_TRUE(stats.finished) << stats.stall;
+  EXPECT_EQ(stats.ops_total, 2u);
+}
+
+}  // namespace
+}  // namespace ccref::sim

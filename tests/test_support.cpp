@@ -1,0 +1,304 @@
+// Unit tests for src/support: hashing, node sets, RNG, byte codec, strings,
+// tables, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <sstream>
+
+#include "support/bytes.hpp"
+#include "support/hash.hpp"
+#include "support/node_set.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "support/cli.hpp"
+
+namespace ccref {
+namespace {
+
+// ---- hash ------------------------------------------------------------------
+
+std::uint64_t hash_str(std::string_view s, std::uint64_t seed = 1) {
+  return hash_bytes(std::as_bytes(std::span(s.data(), s.size())), seed);
+}
+
+TEST(Hash, DeterministicAcrossCalls) {
+  EXPECT_EQ(hash_str("hello"), hash_str("hello"));
+  EXPECT_EQ(hash_str(""), hash_str(""));
+}
+
+TEST(Hash, DiffersOnContent) {
+  EXPECT_NE(hash_str("hello"), hash_str("hellp"));
+  EXPECT_NE(hash_str("ab"), hash_str("ba"));
+  EXPECT_NE(hash_str("a"), hash_str("aa"));
+}
+
+TEST(Hash, DiffersOnSeed) {
+  EXPECT_NE(hash_str("hello", 1), hash_str("hello", 2));
+}
+
+TEST(Hash, LengthBoundaries) {
+  // Exercise the 0/4/8/16-byte code paths.
+  std::string s;
+  std::set<std::uint64_t> seen;
+  for (int len = 0; len <= 40; ++len) {
+    seen.insert(hash_str(s));
+    s.push_back(static_cast<char>('a' + (len % 26)));
+  }
+  EXPECT_EQ(seen.size(), 41u) << "collision among trivial inputs";
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_NE(hash_combine(0, 0), 0u);
+}
+
+// ---- NodeSet ---------------------------------------------------------------
+
+TEST(NodeSet, StartsEmpty) {
+  NodeSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+}
+
+TEST(NodeSet, AddRemoveContains) {
+  NodeSet s;
+  s.add(3);
+  s.add(17);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(17));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 2);
+  s.remove(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1);
+  s.remove(3);  // removing an absent element is a no-op
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(NodeSet, AllOfN) {
+  EXPECT_EQ(NodeSet::all(0).size(), 0);
+  EXPECT_EQ(NodeSet::all(5).size(), 5);
+  EXPECT_EQ(NodeSet::all(64).size(), 64);
+  EXPECT_TRUE(NodeSet::all(5).contains(4));
+  EXPECT_FALSE(NodeSet::all(5).contains(5));
+}
+
+TEST(NodeSet, FirstAndNext) {
+  NodeSet s;
+  s.add(5);
+  s.add(9);
+  s.add(63);
+  EXPECT_EQ(s.first(), 5);
+  EXPECT_EQ(s.next_after(5), 9);
+  EXPECT_EQ(s.next_after(9), 63);
+  EXPECT_EQ(s.next_after(63), -1);
+}
+
+TEST(NodeSet, Iteration) {
+  NodeSet s;
+  s.add(0);
+  s.add(2);
+  s.add(40);
+  std::vector<int> got;
+  for (NodeId id : s) got.push_back(id);
+  EXPECT_EQ(got, (std::vector<int>{0, 2, 40}));
+}
+
+TEST(NodeSet, EqualityIsValueBased) {
+  NodeSet a, b;
+  a.add(1);
+  b.add(1);
+  EXPECT_EQ(a, b);
+  b.add(2);
+  EXPECT_NE(a, b);
+}
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(3);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo |= (v == -2);
+    hi |= (v == 2);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+// ---- bytes -----------------------------------------------------------------
+
+TEST(Bytes, RoundTripFixedWidths) {
+  ByteSink sink;
+  sink.u8(0xab);
+  sink.u16(0x1234);
+  sink.u32(0xdeadbeef);
+  sink.u64(0x0123456789abcdefull);
+  ByteSource src(sink.bytes());
+  EXPECT_EQ(src.u8(), 0xab);
+  EXPECT_EQ(src.u16(), 0x1234);
+  EXPECT_EQ(src.u32(), 0xdeadbeefu);
+  EXPECT_EQ(src.u64(), 0x0123456789abcdefull);
+  EXPECT_TRUE(src.exhausted());
+}
+
+TEST(Bytes, VarintRoundTrip) {
+  std::vector<std::uint64_t> values = {0,    1,    127,  128,   300,
+                                       1u << 20, ~0ull, 0x8080, 42};
+  ByteSink sink;
+  for (auto v : values) sink.varint(v);
+  ByteSource src(sink.bytes());
+  for (auto v : values) EXPECT_EQ(src.varint(), v);
+  EXPECT_TRUE(src.exhausted());
+}
+
+TEST(Bytes, VarintSmallValuesAreOneByte) {
+  ByteSink sink;
+  sink.varint(127);
+  EXPECT_EQ(sink.size(), 1u);
+  sink.varint(128);
+  EXPECT_EQ(sink.size(), 3u);
+}
+
+TEST(Bytes, CanonicalEncoding) {
+  ByteSink a, b;
+  a.varint(1000);
+  b.varint(1000);
+  EXPECT_TRUE(std::equal(a.bytes().begin(), a.bytes().end(),
+                         b.bytes().begin(), b.bytes().end()));
+}
+
+// ---- strings ---------------------------------------------------------------
+
+TEST(Strings, Strf) {
+  EXPECT_EQ(strf("x=%d", 42), "x=42");
+  EXPECT_EQ(strf("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(strf("%.2f", 1.239), "1.24");
+}
+
+TEST(Strings, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x \t\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(human_bytes(12), "12 B");
+  EXPECT_EQ(human_bytes(1536), "1.5 KB");
+  EXPECT_EQ(human_bytes(64ull << 20), "64.0 MB");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+// ---- table -----------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  Table t({"Protocol", "N", "states"});
+  t.row({"migratory", "2", "54"});
+  t.row({"invalidate", "16", "228334"});
+  std::string out = t.to_string();
+  EXPECT_NE(out.find("| migratory "), std::string::npos);
+  EXPECT_NE(out.find("| Protocol "), std::string::npos);
+  // All lines are equally wide.
+  auto lines = split(out, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0].size(), lines[1].size());
+  EXPECT_EQ(lines[0].size(), lines[2].size());
+}
+
+TEST(Table, RowArityIsChecked) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.row({"only-one"}), "precondition");
+}
+
+// ---- cli -------------------------------------------------------------------
+
+TEST(Cli, ParsesFlagsAndDefaults) {
+  const char* argv[] = {"prog", "--nodes=8", "--verbose", "--name", "mig"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.int_flag("nodes", 2), 8);
+  EXPECT_EQ(cli.int_flag("mem", 64), 64);
+  EXPECT_TRUE(cli.bool_flag("verbose", false));
+  EXPECT_EQ(cli.str_flag("name", "x"), "mig");
+  cli.finish();
+}
+
+TEST(Cli, DoubleFlag) {
+  const char* argv[] = {"prog", "--rate=0.25"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.double_flag("rate", 1.0), 0.25);
+  cli.finish();
+}
+
+TEST(Cli, PositionalArgs) {
+  const char* argv[] = {"prog", "file1", "--k=3", "file2"};
+  Cli cli(4, const_cast<char**>(argv));
+  (void)cli.int_flag("k", 0);
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "file1");
+  cli.finish();
+}
+
+TEST(Cli, UnknownFlagIsFatal) {
+  const char* argv[] = {"prog", "--bogus=1"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT(cli.finish(), testing::ExitedWithCode(2), "unknown flag");
+}
+
+}  // namespace
+}  // namespace ccref
