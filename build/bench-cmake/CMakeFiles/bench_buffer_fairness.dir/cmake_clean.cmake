@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_buffer_fairness"
+  "../bench/bench_buffer_fairness.pdb"
+  "CMakeFiles/bench_buffer_fairness.dir/bench_buffer_fairness.cpp.o"
+  "CMakeFiles/bench_buffer_fairness.dir/bench_buffer_fairness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buffer_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_simulation.dir/dsm_simulation.cpp.o"
+  "CMakeFiles/dsm_simulation.dir/dsm_simulation.cpp.o.d"
+  "dsm_simulation"
+  "dsm_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/export_figures.cpp" "examples/CMakeFiles/export_figures.dir/export_figures.cpp.o" "gcc" "examples/CMakeFiles/export_figures.dir/export_figures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/ccref_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ccref_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/refine/CMakeFiles/ccref_refine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/ccref_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccref_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/ccref_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/ccref_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccref_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ccref_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

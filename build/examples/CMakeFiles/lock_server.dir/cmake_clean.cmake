@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_server.dir/lock_server.cpp.o"
+  "CMakeFiles/lock_server.dir/lock_server.cpp.o.d"
+  "lock_server"
+  "lock_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccref_dsl.dir/lexer.cpp.o"
+  "CMakeFiles/ccref_dsl.dir/lexer.cpp.o.d"
+  "CMakeFiles/ccref_dsl.dir/parser.cpp.o"
+  "CMakeFiles/ccref_dsl.dir/parser.cpp.o.d"
+  "libccref_dsl.a"
+  "libccref_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccref_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cpp" "src/ir/CMakeFiles/ccref_ir.dir/builder.cpp.o" "gcc" "src/ir/CMakeFiles/ccref_ir.dir/builder.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/ir/CMakeFiles/ccref_ir.dir/expr.cpp.o" "gcc" "src/ir/CMakeFiles/ccref_ir.dir/expr.cpp.o.d"
+  "/root/repo/src/ir/print.cpp" "src/ir/CMakeFiles/ccref_ir.dir/print.cpp.o" "gcc" "src/ir/CMakeFiles/ccref_ir.dir/print.cpp.o.d"
+  "/root/repo/src/ir/process.cpp" "src/ir/CMakeFiles/ccref_ir.dir/process.cpp.o" "gcc" "src/ir/CMakeFiles/ccref_ir.dir/process.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "src/ir/CMakeFiles/ccref_ir.dir/stmt.cpp.o" "gcc" "src/ir/CMakeFiles/ccref_ir.dir/stmt.cpp.o.d"
+  "/root/repo/src/ir/validate.cpp" "src/ir/CMakeFiles/ccref_ir.dir/validate.cpp.o" "gcc" "src/ir/CMakeFiles/ccref_ir.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ccref_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccref_ir.dir/builder.cpp.o"
+  "CMakeFiles/ccref_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/ccref_ir.dir/expr.cpp.o"
+  "CMakeFiles/ccref_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/ccref_ir.dir/print.cpp.o"
+  "CMakeFiles/ccref_ir.dir/print.cpp.o.d"
+  "CMakeFiles/ccref_ir.dir/process.cpp.o"
+  "CMakeFiles/ccref_ir.dir/process.cpp.o.d"
+  "CMakeFiles/ccref_ir.dir/stmt.cpp.o"
+  "CMakeFiles/ccref_ir.dir/stmt.cpp.o.d"
+  "CMakeFiles/ccref_ir.dir/validate.cpp.o"
+  "CMakeFiles/ccref_ir.dir/validate.cpp.o.d"
+  "libccref_ir.a"
+  "libccref_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccref_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/invalidate.cpp" "src/protocols/CMakeFiles/ccref_protocols.dir/invalidate.cpp.o" "gcc" "src/protocols/CMakeFiles/ccref_protocols.dir/invalidate.cpp.o.d"
+  "/root/repo/src/protocols/lockserver.cpp" "src/protocols/CMakeFiles/ccref_protocols.dir/lockserver.cpp.o" "gcc" "src/protocols/CMakeFiles/ccref_protocols.dir/lockserver.cpp.o.d"
+  "/root/repo/src/protocols/migratory.cpp" "src/protocols/CMakeFiles/ccref_protocols.dir/migratory.cpp.o" "gcc" "src/protocols/CMakeFiles/ccref_protocols.dir/migratory.cpp.o.d"
+  "/root/repo/src/protocols/writeupdate.cpp" "src/protocols/CMakeFiles/ccref_protocols.dir/writeupdate.cpp.o" "gcc" "src/protocols/CMakeFiles/ccref_protocols.dir/writeupdate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ccref_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/ccref_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ccref_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/refine/CMakeFiles/ccref_refine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccref_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccref_protocols.dir/invalidate.cpp.o"
+  "CMakeFiles/ccref_protocols.dir/invalidate.cpp.o.d"
+  "CMakeFiles/ccref_protocols.dir/lockserver.cpp.o"
+  "CMakeFiles/ccref_protocols.dir/lockserver.cpp.o.d"
+  "CMakeFiles/ccref_protocols.dir/migratory.cpp.o"
+  "CMakeFiles/ccref_protocols.dir/migratory.cpp.o.d"
+  "CMakeFiles/ccref_protocols.dir/writeupdate.cpp.o"
+  "CMakeFiles/ccref_protocols.dir/writeupdate.cpp.o.d"
+  "libccref_protocols.a"
+  "libccref_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccref_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/refine/abstraction.cpp" "src/refine/CMakeFiles/ccref_refine.dir/abstraction.cpp.o" "gcc" "src/refine/CMakeFiles/ccref_refine.dir/abstraction.cpp.o.d"
+  "/root/repo/src/refine/refined.cpp" "src/refine/CMakeFiles/ccref_refine.dir/refined.cpp.o" "gcc" "src/refine/CMakeFiles/ccref_refine.dir/refined.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ccref_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/ccref_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccref_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

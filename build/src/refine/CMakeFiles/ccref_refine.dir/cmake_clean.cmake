@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccref_refine.dir/abstraction.cpp.o"
+  "CMakeFiles/ccref_refine.dir/abstraction.cpp.o.d"
+  "CMakeFiles/ccref_refine.dir/refined.cpp.o"
+  "CMakeFiles/ccref_refine.dir/refined.cpp.o.d"
+  "libccref_refine.a"
+  "libccref_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccref_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

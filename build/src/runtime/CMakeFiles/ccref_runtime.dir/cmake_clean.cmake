@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccref_runtime.dir/async_system.cpp.o"
+  "CMakeFiles/ccref_runtime.dir/async_system.cpp.o.d"
+  "libccref_runtime.a"
+  "libccref_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccref_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

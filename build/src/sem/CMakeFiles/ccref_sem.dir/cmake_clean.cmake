@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccref_sem.dir/rendezvous.cpp.o"
+  "CMakeFiles/ccref_sem.dir/rendezvous.cpp.o.d"
+  "libccref_sem.a"
+  "libccref_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccref_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

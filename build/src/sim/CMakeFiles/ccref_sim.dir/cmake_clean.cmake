@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccref_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ccref_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ccref_sim.dir/workload.cpp.o"
+  "CMakeFiles/ccref_sim.dir/workload.cpp.o.d"
+  "libccref_sim.a"
+  "libccref_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccref_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccref_support.dir/cli.cpp.o"
+  "CMakeFiles/ccref_support.dir/cli.cpp.o.d"
+  "CMakeFiles/ccref_support.dir/strings.cpp.o"
+  "CMakeFiles/ccref_support.dir/strings.cpp.o.d"
+  "CMakeFiles/ccref_support.dir/table.cpp.o"
+  "CMakeFiles/ccref_support.dir/table.cpp.o.d"
+  "libccref_support.a"
+  "libccref_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccref_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

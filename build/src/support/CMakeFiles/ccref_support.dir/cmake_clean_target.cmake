@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccref_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccref_viz.dir/dot.cpp.o"
+  "CMakeFiles/ccref_viz.dir/dot.cpp.o.d"
+  "libccref_viz.a"
+  "libccref_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccref_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

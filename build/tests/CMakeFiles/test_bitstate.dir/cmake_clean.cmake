@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitstate.dir/test_bitstate.cpp.o"
+  "CMakeFiles/test_bitstate.dir/test_bitstate.cpp.o.d"
+  "test_bitstate"
+  "test_bitstate.pdb"
+  "test_bitstate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sem.dir/test_sem.cpp.o"
+  "CMakeFiles/test_sem.dir/test_sem.cpp.o.d"
+  "test_sem"
+  "test_sem.pdb"
+  "test_sem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
