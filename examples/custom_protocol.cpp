@@ -18,6 +18,7 @@
 #include "sem/rendezvous.hpp"
 #include "support/cli.hpp"
 #include "verify/checker.hpp"
+#include "verify/par_checker.hpp"
 #include "verify/progress.hpp"
 
 using namespace ccref;
@@ -59,6 +60,8 @@ remote r {
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   int n = static_cast<int>(cli.int_flag("remotes", 2, "number of remotes"));
+  auto jobs = static_cast<unsigned>(cli.int_flag(
+      "jobs", 1, "verification worker threads (1 = sequential engine)"));
   cli.finish();
 
   dsl::ParseResult parsed =
@@ -83,7 +86,8 @@ int main(int argc, char** argv) {
     std::printf("warnings:\n%s\n", ir::to_string(diags).c_str());
 
   sem::RendezvousSystem rendezvous(p, n);
-  auto rv = verify::explore(rendezvous);
+  auto rv = jobs <= 1 ? verify::explore(rendezvous)
+                      : verify::par_explore(rendezvous, {}, jobs);
   std::printf("rendezvous (%d remotes): %s, %zu states (%.3fs)\n", n,
               verify::to_string(rv.status), rv.states, rv.seconds);
   if (rv.status != verify::Status::Ok) {
@@ -101,7 +105,8 @@ int main(int argc, char** argv) {
   runtime::AsyncSystem async(refined, n);
   verify::CheckOptions<runtime::AsyncSystem> opts;
   opts.edge_check = refine::make_simulation_checker(async, rendezvous);
-  auto as = verify::explore(async, opts);
+  auto as = jobs <= 1 ? verify::explore(async, opts)
+                      : verify::par_explore(async, opts, jobs);
   std::printf("asynchronous (%d remotes): %s, %zu states (%.3fs)\n", n,
               verify::to_string(as.status), as.states, as.seconds);
   if (as.status != verify::Status::Ok) {

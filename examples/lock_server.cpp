@@ -18,6 +18,7 @@
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "verify/checker.hpp"
+#include "verify/par_checker.hpp"
 #include "verify/progress.hpp"
 
 using namespace ccref;
@@ -27,6 +28,8 @@ int main(int argc, char** argv) {
   int n = static_cast<int>(cli.int_flag("clients", 6, "number of clients"));
   int locks = static_cast<int>(
       cli.int_flag("acquisitions", 50, "lock/unlock pairs per client"));
+  auto jobs = static_cast<unsigned>(cli.int_flag(
+      "jobs", 1, "verification worker threads (1 = sequential engine)"));
   cli.finish();
 
   auto p = protocols::make_lock_server();
@@ -36,7 +39,8 @@ int main(int argc, char** argv) {
   sem::RendezvousSystem rendezvous(p, check_n);
   verify::CheckOptions<sem::RendezvousSystem> rv_opts;
   rv_opts.invariant = protocols::lock_server_invariant(p, check_n);
-  auto rv = verify::explore(rendezvous, rv_opts);
+  auto rv = jobs <= 1 ? verify::explore(rendezvous, rv_opts)
+                      : verify::par_explore(rendezvous, rv_opts, jobs);
   std::printf("rendezvous mutual exclusion (%d clients): %s (%zu states)\n",
               check_n, verify::to_string(rv.status), rv.states);
 
@@ -46,7 +50,8 @@ int main(int argc, char** argv) {
   as_opts.memory_limit = 512u << 20;
   as_opts.invariant = protocols::lock_server_async_invariant(p, check_n);
   as_opts.edge_check = refine::make_simulation_checker(async, rendezvous);
-  auto as = verify::explore(async, as_opts);
+  auto as = jobs <= 1 ? verify::explore(async, as_opts)
+                      : verify::par_explore(async, as_opts, jobs);
   std::printf("asynchronous + Equation 1 (%d clients): %s (%zu states)\n",
               check_n, verify::to_string(as.status), as.states);
   auto prog = verify::check_progress(async);

@@ -12,6 +12,7 @@ using ir::PeerSrc;
 using ir::StateKind;
 using refine::MsgClass;
 using sem::Label;
+using sem::LabelMode;
 
 namespace {
 constexpr int kHome = -1;
@@ -42,14 +43,14 @@ AsyncState AsyncSystem::initial() const {
 }
 
 std::vector<std::pair<AsyncState, Label>> AsyncSystem::successors(
-    const AsyncState& s) const {
+    const AsyncState& s, LabelMode mode) const {
   Out out;
   for (int i = 0; i < n_; ++i)
-    if (!s.up[i].empty()) deliver_to_home(s, i, out);
+    if (!s.up[i].empty()) deliver_to_home(s, i, mode, out);
   for (int i = 0; i < n_; ++i)
-    if (!s.down[i].empty()) deliver_to_remote(s, i, out);
-  home_local(s, out);
-  for (int i = 0; i < n_; ++i) remote_local(s, i, out);
+    if (!s.down[i].empty()) deliver_to_remote(s, i, mode, out);
+  home_local(s, mode, out);
+  for (int i = 0; i < n_; ++i) remote_local(s, i, mode, out);
   return out;
 }
 
@@ -145,7 +146,8 @@ void AsyncSystem::apply_input(const ir::Process& proc, ir::Store& store,
 
 // ---- deliveries to the home --------------------------------------------------
 
-void AsyncSystem::deliver_to_home(const AsyncState& s, int i, Out& out) const {
+void AsyncSystem::deliver_to_home(const AsyncState& s, int i, LabelMode mode,
+                                  Out& out) const {
   const Msg& m = s.up[i].front();
   const ir::Process& home = protocol().home;
   const HomeMachine& hm = s.home;
@@ -162,7 +164,8 @@ void AsyncSystem::deliver_to_home(const AsyncState& s, int i, Out& out) const {
       next.up[i].pop();
       apply_home_output(next.home, og, i);
       Label l;
-      l.text = strf("h T1: ack from r%d completes %s", i,
+      if (mode == LabelMode::Full)
+        l.text = strf("h T1: ack from r%d completes %s", i,
                     protocol().message(og.msg).name.c_str());
       out.emplace_back(std::move(next), std::move(l));
       return;
@@ -175,7 +178,8 @@ void AsyncSystem::deliver_to_home(const AsyncState& s, int i, Out& out) const {
       next.up[i].pop();
       next.home.transient = false;
       Label l;
-      l.text = strf("h T2: nack from r%d", i);
+      if (mode == LabelMode::Full)
+        l.text = strf("h T2: nack from r%d", i);
       out.emplace_back(std::move(next), std::move(l));
       return;
     }
@@ -205,7 +209,8 @@ void AsyncSystem::deliver_to_home(const AsyncState& s, int i, Out& out) const {
       }
       CCREF_ASSERT_MSG(applied, "no guard consumed the fused reply");
       Label l;
-      l.text = strf("h T1: repl %s from r%d completes fused pair",
+      if (mode == LabelMode::Full)
+        l.text = strf("h T1: repl %s from r%d completes fused pair",
                     protocol().message(m.msg).name.c_str(), i);
       out.emplace_back(std::move(next), std::move(l));
       return;
@@ -221,7 +226,8 @@ void AsyncSystem::deliver_to_home(const AsyncState& s, int i, Out& out) const {
         if (admit(next.home, next, req, /*in_transient=*/false)) {
           next.home.buffer.push_back(std::move(req));
           Label l;
-          l.text = strf("h T3: implicit nack; buffered %s from r%d",
+          if (mode == LabelMode::Full)
+            l.text = strf("h T3: implicit nack; buffered %s from r%d",
                         protocol().message(m.msg).name.c_str(), i);
           out.emplace_back(std::move(next), std::move(l));
         } else {
@@ -232,7 +238,8 @@ void AsyncSystem::deliver_to_home(const AsyncState& s, int i, Out& out) const {
           nack.src = Msg::kHomeSrc;
           next.down[i].push(std::move(nack));
           Label l;
-          l.text = strf("h T3: implicit nack; nacked %s from r%d (no space)",
+          if (mode == LabelMode::Full)
+            l.text = strf("h T3: implicit nack; nacked %s from r%d (no space)",
                         protocol().message(m.msg).name.c_str(), i);
           l.sent_nack = 1;
           out.emplace_back(std::move(next), std::move(l));
@@ -245,7 +252,8 @@ void AsyncSystem::deliver_to_home(const AsyncState& s, int i, Out& out) const {
         next.up[i].pop();
         next.home.buffer.push_back(m);
         Label l;
-        l.text = strf("h buffer: %s from r%d",
+        if (mode == LabelMode::Full)
+          l.text = strf("h buffer: %s from r%d",
                       protocol().message(m.msg).name.c_str(), i);
         out.emplace_back(std::move(next), std::move(l));
       } else {
@@ -257,7 +265,8 @@ void AsyncSystem::deliver_to_home(const AsyncState& s, int i, Out& out) const {
         nack.src = Msg::kHomeSrc;
         next.down[i].push(std::move(nack));
         Label l;
-        l.text = strf("h T6: nack %s from r%d",
+        if (mode == LabelMode::Full)
+          l.text = strf("h T6: nack %s from r%d",
                       protocol().message(m.msg).name.c_str(), i);
         l.sent_nack = 1;
         out.emplace_back(std::move(next), std::move(l));
@@ -269,7 +278,7 @@ void AsyncSystem::deliver_to_home(const AsyncState& s, int i, Out& out) const {
 
 // ---- deliveries to a remote ---------------------------------------------------
 
-void AsyncSystem::deliver_to_remote(const AsyncState& s, int i,
+void AsyncSystem::deliver_to_remote(const AsyncState& s, int i, LabelMode mode,
                                     Out& out) const {
   const Msg& m = s.down[i].front();
   const ir::Process& remote = protocol().remote;
@@ -291,7 +300,8 @@ void AsyncSystem::deliver_to_remote(const AsyncState& s, int i,
         nrm.state = og.next;
         nrm.transient = false;
         Label l;
-        l.text = strf("r%d T1: ack completes %s", i,
+        if (mode == LabelMode::Full)
+          l.text = strf("r%d T1: ack completes %s", i,
                       protocol().message(og.msg).name.c_str());
         out.emplace_back(std::move(next), std::move(l));
         return;
@@ -302,7 +312,8 @@ void AsyncSystem::deliver_to_remote(const AsyncState& s, int i,
         next.down[i].pop();
         next.remotes[i].transient = false;
         Label l;
-        l.text = strf("r%d T2: nack; will retry", i);
+        if (mode == LabelMode::Full)
+          l.text = strf("r%d T2: nack; will retry", i);
         out.emplace_back(std::move(next), std::move(l));
         return;
       }
@@ -321,7 +332,8 @@ void AsyncSystem::deliver_to_remote(const AsyncState& s, int i,
         apply_input(remote, nrm.store, nrm.state, ig, m, i);
         nrm.transient = false;
         Label l;
-        l.text = strf("r%d T1: repl %s completes fused pair", i,
+        if (mode == LabelMode::Full)
+          l.text = strf("r%d T1: repl %s completes fused pair", i,
                       protocol().message(m.msg).name.c_str());
         out.emplace_back(std::move(next), std::move(l));
         return;
@@ -332,7 +344,8 @@ void AsyncSystem::deliver_to_remote(const AsyncState& s, int i,
         AsyncState next = s;
         next.down[i].pop();
         Label l;
-        l.text = strf("r%d T3: ignore %s from home", i,
+        if (mode == LabelMode::Full)
+          l.text = strf("r%d T3: ignore %s from home", i,
                       protocol().message(m.msg).name.c_str());
         out.emplace_back(std::move(next), std::move(l));
         return;
@@ -349,14 +362,16 @@ void AsyncSystem::deliver_to_remote(const AsyncState& s, int i,
   next.down[i].pop();
   next.remotes[i].buffer = m;
   Label l;
-  l.text = strf("r%d buffer: %s from home", i,
+  if (mode == LabelMode::Full)
+    l.text = strf("r%d buffer: %s from home", i,
                 protocol().message(m.msg).name.c_str());
   out.emplace_back(std::move(next), std::move(l));
 }
 
 // ---- home local steps ----------------------------------------------------------
 
-void AsyncSystem::home_local(const AsyncState& s, Out& out) const {
+void AsyncSystem::home_local(const AsyncState& s, LabelMode mode,
+                             Out& out) const {
   const ir::Process& home = protocol().home;
   const HomeMachine& hm = s.home;
   if (hm.transient) return;  // waiting for an ack/nack/reply
@@ -372,7 +387,8 @@ void AsyncSystem::home_local(const AsyncState& s, Out& out) const {
       ir::exec(*g.action, next.home.store, home.vars, hctx);
     next.home.state = g.next;
     Label l;
-    l.text = strf("h: tau %s", g.label.empty() ? "-" : g.label.c_str());
+    if (mode == LabelMode::Full)
+      l.text = strf("h: tau %s", g.label.empty() ? "-" : g.label.c_str());
     l.actor = kHome;
     l.decision = g.label;
     out.emplace_back(std::move(next), std::move(l));
@@ -412,7 +428,8 @@ void AsyncSystem::home_local(const AsyncState& s, Out& out) const {
         CCREF_ASSERT(cls == MsgClass::ElideAck);
       }
       apply_input(home, next.home.store, next.home.state, ig, taken, kHome);
-      l.text = strf("h C1: %s %s from r%d",
+      if (mode == LabelMode::Full)
+        l.text = strf("h C1: %s %s from r%d",
                     cls == MsgClass::Normal ? "ack" : "consume",
                     protocol().message(taken.msg).name.c_str(), taken.src);
       out.emplace_back(std::move(next), std::move(l));
@@ -456,7 +473,8 @@ void AsyncSystem::home_local(const AsyncState& s, Out& out) const {
         next.down[ri].push(std::move(repl));
         apply_home_output(next.home, og, ri);
         Label l;
-        l.text = strf("h C2: repl %s -> r%d",
+        if (mode == LabelMode::Full)
+          l.text = strf("h C2: repl %s -> r%d",
                       protocol().message(og.msg).name.c_str(), ri);
         l.sent_repl = 1;
         l.completes_rendezvous = true;
@@ -500,7 +518,8 @@ void AsyncSystem::home_local(const AsyncState& s, Out& out) const {
       next.home.transient = true;
       next.home.t_guard = static_cast<std::uint8_t>(gi);
       next.home.t_target = ri;
-      l.text = strf("h C2: request %s -> r%d",
+      if (mode == LabelMode::Full)
+        l.text = strf("h C2: request %s -> r%d",
                     protocol().message(og.msg).name.c_str(), ri);
       l.sent_req = 1;
       l.actor = kHome;
@@ -512,7 +531,8 @@ void AsyncSystem::home_local(const AsyncState& s, Out& out) const {
 
 // ---- remote local steps ---------------------------------------------------------
 
-void AsyncSystem::remote_local(const AsyncState& s, int i, Out& out) const {
+void AsyncSystem::remote_local(const AsyncState& s, int i, LabelMode mode,
+                               Out& out) const {
   const ir::Process& remote = protocol().remote;
   const RemoteMachine& rm = s.remotes[i];
   if (rm.transient) return;
@@ -527,7 +547,8 @@ void AsyncSystem::remote_local(const AsyncState& s, int i, Out& out) const {
     if (g.action) ir::exec(*g.action, nrm.store, remote.vars, rctx);
     nrm.state = g.next;
     Label l;
-    l.text = strf("r%d: tau %s", i, g.label.empty() ? "-" : g.label.c_str());
+    if (mode == LabelMode::Full)
+      l.text = strf("r%d: tau %s", i, g.label.empty() ? "-" : g.label.c_str());
     l.actor = i;
     l.decision = g.label;
     out.emplace_back(std::move(next), std::move(l));
@@ -559,7 +580,8 @@ void AsyncSystem::remote_local(const AsyncState& s, int i, Out& out) const {
       next.up[i].push(std::move(req));
       if (og.action) ir::exec(*og.action, nrm.store, remote.vars, rctx);
       nrm.state = og.next;
-      l.text = strf("r%d: send %s (no ack)%s", i,
+      if (mode == LabelMode::Full)
+        l.text = strf("r%d: send %s (no ack)%s", i,
                     protocol().message(og.msg).name.c_str(),
                     deleted ? ", dropped buffered request" : "");
       l.sent_req = 1;
@@ -572,7 +594,8 @@ void AsyncSystem::remote_local(const AsyncState& s, int i, Out& out) const {
       req.payload = eval_payload(og, rm.store, i, kHome);
       next.up[i].push(std::move(req));
       nrm.transient = true;
-      l.text = strf("r%d C%d: request %s", i, deleted ? 2 : 1,
+      if (mode == LabelMode::Full)
+        l.text = strf("r%d C%d: request %s", i, deleted ? 2 : 1,
                     protocol().message(og.msg).name.c_str());
       l.sent_req = 1;
     }
@@ -609,7 +632,8 @@ void AsyncSystem::remote_local(const AsyncState& s, int i, Out& out) const {
       next.up[i].push(std::move(repl));
       if (og.action) ir::exec(*og.action, nrm.store, remote.vars, rctx);
       nrm.state = og.next;
-      l.text = strf("r%d C3: %s answered with repl %s", i,
+      if (mode == LabelMode::Full)
+        l.text = strf("r%d C3: %s answered with repl %s", i,
                     protocol().message(taken.msg).name.c_str(),
                     protocol().message(repl.msg).name.c_str());
       l.sent_repl = 1;
@@ -620,7 +644,8 @@ void AsyncSystem::remote_local(const AsyncState& s, int i, Out& out) const {
       ack.src = static_cast<std::uint8_t>(i);
       next.up[i].push(std::move(ack));
       apply_input(remote, nrm.store, nrm.state, ig, taken, i);
-      l.text = strf("r%d C3: ack %s", i,
+      if (mode == LabelMode::Full)
+        l.text = strf("r%d C3: ack %s", i,
                     protocol().message(taken.msg).name.c_str());
       l.sent_ack = 1;
       l.completes_rendezvous = true;
@@ -637,7 +662,8 @@ void AsyncSystem::remote_local(const AsyncState& s, int i, Out& out) const {
     nack.src = static_cast<std::uint8_t>(i);
     next.up[i].push(std::move(nack));
     Label l;
-    l.text = strf("r%d C3: nack %s", i,
+    if (mode == LabelMode::Full)
+      l.text = strf("r%d C3: nack %s", i,
                   protocol().message(m.msg).name.c_str());
     l.sent_nack = 1;
     l.actor = i;

@@ -28,7 +28,14 @@ class AsyncSystem {
   /// deliveries to the home, deliveries to remotes, home local steps
   /// (τ / C1 / C2), remote local steps (τ / active send / C3).
   [[nodiscard]] std::vector<std::pair<State, sem::Label>> successors(
-      const State& s) const;
+      const State& s) const {
+    return successors(s, sem::LabelMode::Full);
+  }
+
+  /// Same enumeration; `LabelMode::Quiet` skips `Label::text` formatting on
+  /// the checker's hot path.
+  [[nodiscard]] std::vector<std::pair<State, sem::Label>> successors(
+      const State& s, sem::LabelMode mode) const;
 
   void encode(const State& s, ByteSink& sink) const;
   [[nodiscard]] State decode(ByteSource& src) const;
@@ -46,12 +53,15 @@ class AsyncSystem {
   using Out = std::vector<std::pair<AsyncState, sem::Label>>;
 
   // ---- deliveries ----
-  void deliver_to_home(const State& s, int i, Out& out) const;
-  void deliver_to_remote(const State& s, int i, Out& out) const;
+  void deliver_to_home(const State& s, int i, sem::LabelMode mode,
+                       Out& out) const;
+  void deliver_to_remote(const State& s, int i, sem::LabelMode mode,
+                         Out& out) const;
 
   // ---- local steps ----
-  void home_local(const State& s, Out& out) const;
-  void remote_local(const State& s, int i, Out& out) const;
+  void home_local(const State& s, sem::LabelMode mode, Out& out) const;
+  void remote_local(const State& s, int i, sem::LabelMode mode,
+                    Out& out) const;
 
   // ---- helpers ----
   /// Does message m satisfy some input guard of home state `sid`? (§3.2's

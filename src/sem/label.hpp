@@ -13,6 +13,19 @@
 
 namespace ccref::sem {
 
+/// How much of a Label successor generation should materialize.
+///
+/// `Label::text` exists for human consumption (counterexample traces,
+/// simulator logs); building it costs a heap-allocated formatted string per
+/// enumerated edge, which dominates the checker's hot path on the
+/// asynchronous semantics. In `Quiet` mode the semantics skip the text and
+/// fill only the machine-consumed fields (flags, message counters, actor,
+/// decision).
+enum class LabelMode : std::uint8_t {
+  Full,   // materialize Label::text (traces, describe, debugging)
+  Quiet,  // leave Label::text empty (hot exploration path)
+};
+
 struct Label {
   std::string text;
 

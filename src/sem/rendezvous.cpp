@@ -30,17 +30,17 @@ RvState RendezvousSystem::initial() const {
 }
 
 std::vector<std::pair<RvState, Label>> RendezvousSystem::successors(
-    const RvState& s) const {
+    const RvState& s, LabelMode mode) const {
   std::vector<std::pair<RvState, Label>> out;
-  tau_moves(s, -1, out);
-  for (int i = 0; i < n_; ++i) tau_moves(s, i, out);
-  home_active(s, out);
-  for (int i = 0; i < n_; ++i) remote_active(s, i, out);
+  tau_moves(s, -1, mode, out);
+  for (int i = 0; i < n_; ++i) tau_moves(s, i, mode, out);
+  home_active(s, mode, out);
+  for (int i = 0; i < n_; ++i) remote_active(s, i, mode, out);
   return out;
 }
 
 void RendezvousSystem::tau_moves(
-    const RvState& s, int proc,
+    const RvState& s, int proc, LabelMode mode,
     std::vector<std::pair<RvState, Label>>& out) const {
   const ir::Process& p = proc < 0 ? protocol_->home : protocol_->remote;
   const ProcState& ps = proc < 0 ? s.home : s.remotes[proc];
@@ -52,10 +52,10 @@ void RendezvousSystem::tau_moves(
     ProcState& target = proc < 0 ? next.home : next.remotes[proc];
     if (g.action) ir::exec(*g.action, target.store, p.vars, ctx);
     target.state = g.next;
-    std::string who = proc < 0 ? "h" : strf("r%d", proc);
     Label label;
-    label.text = strf("%s: tau %s", who.c_str(),
-                      g.label.empty() ? "-" : g.label.c_str());
+    if (mode == LabelMode::Full)
+      label.text = strf("%s: tau %s", proc < 0 ? "h" : strf("r%d", proc).c_str(),
+                        g.label.empty() ? "-" : g.label.c_str());
     label.actor = proc;
     label.decision = g.label;
     out.emplace_back(std::move(next), std::move(label));
@@ -63,7 +63,8 @@ void RendezvousSystem::tau_moves(
 }
 
 void RendezvousSystem::home_active(
-    const RvState& s, std::vector<std::pair<RvState, Label>>& out) const {
+    const RvState& s, LabelMode mode,
+    std::vector<std::pair<RvState, Label>>& out) const {
   const ir::State& hs = protocol_->home.state(s.home.state);
   const EvalCtx hctx{-1};
   for (const auto& og : hs.outputs) {
@@ -88,14 +89,14 @@ void RendezvousSystem::home_active(
         CCREF_ASSERT(ig.from.kind == PeerSrc::Kind::Home);
         if (ig.cond && !ir::eval(*ig.cond, s.remotes[j].store, rctx))
           continue;
-        fire(s, og, -1, ig, j, out);
+        fire(s, og, -1, ig, j, mode, out);
       }
     }
   }
 }
 
 void RendezvousSystem::remote_active(
-    const RvState& s, int i,
+    const RvState& s, int i, LabelMode mode,
     std::vector<std::pair<RvState, Label>>& out) const {
   const ir::State& rs = protocol_->remote.state(s.remotes[i].state);
   if (rs.kind != StateKind::Comm) return;
@@ -122,13 +123,14 @@ void RendezvousSystem::remote_active(
       }
       if (!src_ok) continue;
       if (ig.cond && !ir::eval(*ig.cond, s.home.store, hctx)) continue;
-      fire(s, og, i, ig, -1, out);
+      fire(s, og, i, ig, -1, mode, out);
     }
   }
 }
 
 void RendezvousSystem::fire(const RvState& s, const OutputGuard& og,
                             int active, const InputGuard& ig, int passive,
+                            LabelMode mode,
                             std::vector<std::pair<RvState, Label>>& out) const {
   RvState next = s;
   const ir::Process& ap = active < 0 ? protocol_->home : protocol_->remote;
@@ -161,11 +163,13 @@ void RendezvousSystem::fire(const RvState& s, const OutputGuard& og,
   a.state = og.next;
   p.state = ig.next;
 
-  std::string an = active < 0 ? "h" : strf("r%d", active);
-  std::string pn = passive < 0 ? "h" : strf("r%d", passive);
   Label label;
-  label.text = strf("%s!%s -> %s", an.c_str(),
-                    protocol_->message(og.msg).name.c_str(), pn.c_str());
+  if (mode == LabelMode::Full) {
+    std::string an = active < 0 ? "h" : strf("r%d", active);
+    std::string pn = passive < 0 ? "h" : strf("r%d", passive);
+    label.text = strf("%s!%s -> %s", an.c_str(),
+                      protocol_->message(og.msg).name.c_str(), pn.c_str());
+  }
   label.completes_rendezvous = true;
   label.actor = active;
   label.decision = protocol_->message(og.msg).name;

@@ -44,7 +44,14 @@ class RendezvousSystem {
 
   /// Enumerate all enabled transitions in deterministic order.
   [[nodiscard]] std::vector<std::pair<State, Label>> successors(
-      const State& s) const;
+      const State& s) const {
+    return successors(s, LabelMode::Full);
+  }
+
+  /// Same enumeration; `LabelMode::Quiet` skips `Label::text` formatting on
+  /// the checker's hot path.
+  [[nodiscard]] std::vector<std::pair<State, Label>> successors(
+      const State& s, LabelMode mode) const;
 
   void encode(const State& s, ByteSink& sink) const;
   [[nodiscard]] State decode(ByteSource& src) const;
@@ -56,14 +63,14 @@ class RendezvousSystem {
   [[nodiscard]] int num_remotes() const { return n_; }
 
  private:
-  void tau_moves(const State& s, int proc /* -1 = home */,
+  void tau_moves(const State& s, int proc /* -1 = home */, LabelMode mode,
                  std::vector<std::pair<State, Label>>& out) const;
-  void home_active(const State& s,
+  void home_active(const State& s, LabelMode mode,
                    std::vector<std::pair<State, Label>>& out) const;
-  void remote_active(const State& s, int i,
+  void remote_active(const State& s, int i, LabelMode mode,
                      std::vector<std::pair<State, Label>>& out) const;
   void fire(const State& s, const ir::OutputGuard& og, int active,
-            const ir::InputGuard& ig, int passive,
+            const ir::InputGuard& ig, int passive, LabelMode mode,
             std::vector<std::pair<State, Label>>& out) const;
 
   const ir::Protocol* protocol_;

@@ -1,0 +1,91 @@
+// Minimal JSON emission for machine-readable bench results.
+//
+// The bench binaries dump flat arrays of records (states, transitions,
+// seconds, status, jobs) so the perf trajectory can be tracked across PRs
+// as BENCH_*.json. Only what those records need: objects with string /
+// integer / double fields, collected into one array and written atomically
+// at the end of the run.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace ccref {
+
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, const std::string& value) {
+    add(key, "\"" + escape(value) + "\"");
+    return *this;
+  }
+  JsonObject& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  // One template for every integer width so size_t / uint64_t (the same
+  // type on LP64) don't collide as overloads.
+  template <class T>
+    requires std::is_integral_v<T>
+  JsonObject& field(const std::string& key, T value) {
+    add(key, std::to_string(value));
+    return *this;
+  }
+  JsonObject& field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    add(key, buf);
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  void add(const std::string& key, const std::string& rendered) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + escape(key) + "\":" + rendered;
+  }
+
+  std::string body_;
+};
+
+/// Collects objects; writes a JSON array to `path`. Returns false (with a
+/// message on stderr) if the file cannot be written.
+class JsonArrayFile {
+ public:
+  void push(const JsonObject& obj) { rows_.push_back(obj.str()); }
+
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      std::fprintf(f, "  %s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    std::fputs("]\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::string> rows_;
+};
+
+}  // namespace ccref

@@ -76,6 +76,48 @@ std::vector<std::byte> encode_state(const Sys& sys,
   return sink.take();
 }
 
+/// Does the system offer the LabelMode-aware successor overload? Systems
+/// without it (custom test harnesses) always pay for full labels.
+template <class Sys>
+concept HasLabelMode = requires(const Sys& sys, const typename Sys::State& s) {
+  { sys.successors(s, sem::LabelMode::Quiet) };
+};
+
+/// Enumerate successors, skipping Label::text materialization when the
+/// system supports it and the caller doesn't need text.
+template <class Sys>
+auto successors_of(const Sys& sys, const typename Sys::State& s,
+                   sem::LabelMode mode) {
+  if constexpr (HasLabelMode<Sys>) {
+    return sys.successors(s, mode);
+  } else {
+    return sys.successors(s);
+  }
+}
+
+/// One step of trace replay: find the successor of `pstate` whose encoding
+/// equals `child_bytes` and append its label + description to `labels`.
+/// Compares size, then hash, then bytes — and reuses the caller's ByteSink —
+/// so replaying a chain is linear in the encoded bytes enumerated, not
+/// quadratic in re-allocated vectors.
+template <class Sys>
+void append_step_label(const Sys& sys, const typename Sys::State& pstate,
+                       std::span<const std::byte> child_bytes, ByteSink& sink,
+                       std::vector<std::string>& labels) {
+  const std::uint64_t child_hash = hash_bytes(child_bytes);
+  for (auto& [succ, label] : sys.successors(pstate)) {
+    sink.clear();
+    sys.encode(succ, sink);
+    auto enc = sink.bytes();
+    if (enc.size() != child_bytes.size()) continue;
+    if (hash_bytes(enc) != child_hash) continue;
+    if (!std::equal(enc.begin(), enc.end(), child_bytes.begin())) continue;
+    labels.push_back(label.text + "  =>  " + sys.describe(succ));
+    return;
+  }
+  labels.push_back("<trace reconstruction failed>");
+}
+
 /// Recompute the label sequence root -> `target` by replaying successor
 /// enumeration along the BFS parent chain (labels are not stored during
 /// exploration to keep the visited set lean).
@@ -92,21 +134,11 @@ std::vector<std::string> rebuild_trace(const Sys& sys, const StateSet& seen,
                      ByteSource src(seen.at(chain.back()));
                      return sys.decode(src);
                    }()));
+  ByteSink sink;
   for (std::size_t i = chain.size(); i-- > 1;) {
     ByteSource psrc(seen.at(chain[i]));
     auto pstate = sys.decode(psrc);
-    auto child_bytes = seen.at(chain[i - 1]);
-    bool found = false;
-    for (auto& [succ, label] : sys.successors(pstate)) {
-      auto enc = encode_state(sys, succ);
-      if (enc.size() == child_bytes.size() &&
-          std::equal(enc.begin(), enc.end(), child_bytes.begin())) {
-        labels.push_back(label.text + "  =>  " + sys.describe(succ));
-        found = true;
-        break;
-      }
-    }
-    if (!found) labels.push_back("<trace reconstruction failed>");
+    append_step_label(sys, pstate, seen.at(chain[i - 1]), sink, labels);
   }
   return labels;
 }
@@ -138,10 +170,16 @@ template <class Sys>
     return finish(status);
   };
 
+  // Labels feed nothing on the hot path unless an edge check reads them;
+  // traces are rebuilt (with full labels) only after a violation.
+  const sem::LabelMode mode =
+      opts.edge_check ? sem::LabelMode::Full : sem::LabelMode::Quiet;
+  ByteSink sink;  // reused across every encode below
+
   {
     auto root = sys.initial();
-    auto bytes = detail::encode_state(sys, root);
-    auto ins = seen.insert(bytes);
+    sys.encode(root, sink);
+    auto ins = seen.insert(sink.bytes());
     CCREF_ASSERT(ins.outcome == StateSet::Outcome::Inserted);
     parent.push_back(0xffffffffu);
     if (opts.invariant) {
@@ -154,7 +192,7 @@ template <class Sys>
   for (std::uint32_t cursor = 0; cursor < seen.size(); ++cursor) {
     ByteSource src(seen.at(cursor));
     auto state = sys.decode(src);
-    auto succs = sys.successors(state);
+    auto succs = detail::successors_of(sys, state, mode);
     if (succs.empty() && opts.detect_deadlock)
       return fail_at(Status::Deadlock, cursor,
                      "deadlock: no enabled transition in " +
@@ -167,8 +205,9 @@ template <class Sys>
           return fail_at(Status::InvariantViolated, cursor,
                          "edge '" + label.text + "': " + msg);
       }
-      auto bytes = detail::encode_state(sys, succ);
-      auto ins = seen.insert(bytes);
+      sink.clear();
+      sys.encode(succ, sink);
+      auto ins = seen.insert(sink.bytes());
       switch (ins.outcome) {
         case StateSet::Outcome::Exhausted:
           return finish(Status::Unfinished);

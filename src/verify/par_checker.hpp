@@ -1,0 +1,236 @@
+// Parallel explicit-state reachability engine.
+//
+// Same contract as verify::explore (checker.hpp), executed by a worker pool
+// over a ShardedStateSet: each worker owns a frontier deque and steals from
+// siblings when its own runs dry (multi-core-SPIN's design). For a run that
+// completes with Status::Ok the reported state and transition counts are
+// IDENTICAL to the sequential engine's — every reachable state is expanded
+// exactly once, and the edge total is order-independent. What parallel
+// exploration gives up is the breadth-first frontier: counterexample traces
+// are valid paths but may be longer than the minimal ones the sequential
+// BFS guarantees, and violations/deadlocks may be detected at a different
+// (equally real) state. Memory exhaustion still yields Status::Unfinished
+// against the same single budget, though the exact state count at
+// exhaustion depends on scheduling.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <thread>
+
+#include "support/thread_pool.hpp"
+#include "verify/checker.hpp"
+#include "verify/sharded_state_set.hpp"
+
+namespace ccref::verify {
+
+namespace detail {
+
+/// rebuild_trace over the sharded set: parents are packed Refs recorded at
+/// insertion. Same hash-first replay as the sequential reconstruction.
+template <class Sys>
+std::vector<std::string> rebuild_trace_sharded(const Sys& sys,
+                                               const ShardedStateSet& seen,
+                                               ShardedStateSet::Ref target) {
+  std::vector<ShardedStateSet::Ref> chain;
+  for (std::uint64_t at = ShardedStateSet::pack(target);
+       at != ShardedStateSet::kNoParent;) {
+    auto r = ShardedStateSet::unpack(at);
+    chain.push_back(r);
+    at = seen.parent_of(r);
+  }
+  std::vector<std::string> labels;
+  labels.push_back("initial: " +
+                   sys.describe([&] {
+                     ByteSource src(seen.at(chain.back()));
+                     return sys.decode(src);
+                   }()));
+  ByteSink sink;
+  for (std::size_t i = chain.size(); i-- > 1;) {
+    ByteSource psrc(seen.at(chain[i]));
+    auto pstate = sys.decode(psrc);
+    append_step_label(sys, pstate, seen.at(chain[i - 1]), sink, labels);
+  }
+  return labels;
+}
+
+}  // namespace detail
+
+/// Parallel counterpart of verify::explore. `jobs` == 0 means one worker
+/// per hardware thread; `shards` == 0 sizes the visited set at 8 shards per
+/// worker. Agrees with the sequential engine on status always, and on
+/// state/transition counts whenever the status is Ok.
+template <class Sys>
+[[nodiscard]] CheckResult par_explore(const Sys& sys,
+                                      const CheckOptions<Sys>& opts = {},
+                                      unsigned jobs = 0, unsigned shards = 0) {
+  auto t0 = std::chrono::steady_clock::now();
+  if (jobs == 0) jobs = ThreadPool::default_concurrency();
+  if (shards == 0) shards = jobs * 8;
+
+  CheckResult result;
+  const sem::LabelMode mode =
+      opts.edge_check ? sem::LabelMode::Full : sem::LabelMode::Quiet;
+  ShardedStateSet seen(opts.memory_limit, shards,
+                       /*track_parents=*/opts.want_trace);
+
+  // A frontier item carries its own copy of the encoded state: shard pools
+  // reallocate under concurrent insertion, so spans into them are only safe
+  // post-run.
+  struct Item {
+    ShardedStateSet::Ref ref;
+    std::vector<std::byte> bytes;
+  };
+  struct Worker {
+    std::mutex mu;
+    std::deque<Item> frontier;
+    std::uint64_t transitions = 0;
+    ByteSink sink;  // reused for every encode this worker performs
+  };
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(jobs);
+  for (unsigned i = 0; i < jobs; ++i)
+    workers.push_back(std::make_unique<Worker>());
+
+  // `pending` counts states inserted but not yet fully expanded; it reaches
+  // zero exactly when the reachable space is exhausted. `stop` short-circuits
+  // on the first violation / deadlock / memory exhaustion.
+  std::atomic<std::size_t> pending{0};
+  std::atomic<bool> stop{false};
+  std::mutex fail_mu;
+  bool failed = false;
+  Status fail_status = Status::Ok;
+  ShardedStateSet::Ref fail_ref{};
+  std::string fail_msg;
+
+  auto report = [&](Status st, ShardedStateSet::Ref ref, std::string msg) {
+    {
+      std::lock_guard<std::mutex> lock(fail_mu);
+      if (!failed) {
+        failed = true;
+        fail_status = st;
+        fail_ref = ref;
+        fail_msg = std::move(msg);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  };
+
+  {
+    ByteSink sink;
+    auto root = sys.initial();
+    sys.encode(root, sink);
+    auto ins = seen.insert(sink.bytes());
+    CCREF_ASSERT(ins.outcome == StateSet::Outcome::Inserted);
+    std::string msg = opts.invariant ? opts.invariant(root) : std::string();
+    if (!msg.empty()) {
+      report(Status::InvariantViolated, ins.ref, std::move(msg));
+    } else {
+      auto b = sink.bytes();
+      workers[0]->frontier.push_back(
+          {ins.ref, std::vector<std::byte>(b.begin(), b.end())});
+      pending.store(1, std::memory_order_release);
+    }
+  }
+
+  auto worker_fn = [&](unsigned id) {
+    Worker& self = *workers[id];
+    Item item;
+    auto try_pop = [&] {
+      {
+        std::lock_guard<std::mutex> lock(self.mu);
+        if (!self.frontier.empty()) {
+          item = std::move(self.frontier.front());
+          self.frontier.pop_front();
+          return true;
+        }
+      }
+      // Steal from the back of a sibling's deque (deepest work, least
+      // contended end).
+      for (unsigned k = 1; k < workers.size(); ++k) {
+        Worker& victim = *workers[(id + k) % workers.size()];
+        std::lock_guard<std::mutex> lock(victim.mu);
+        if (!victim.frontier.empty()) {
+          item = std::move(victim.frontier.back());
+          victim.frontier.pop_back();
+          return true;
+        }
+      }
+      return false;
+    };
+
+    while (!stop.load(std::memory_order_acquire)) {
+      if (!try_pop()) {
+        if (pending.load(std::memory_order_acquire) == 0) return;
+        std::this_thread::yield();
+        continue;
+      }
+      ByteSource src(item.bytes);
+      auto state = sys.decode(src);
+      auto succs = detail::successors_of(sys, state, mode);
+      if (succs.empty() && opts.detect_deadlock) {
+        report(Status::Deadlock, item.ref,
+               "deadlock: no enabled transition in " + sys.describe(state));
+        return;
+      }
+      for (auto& [succ, label] : succs) {
+        ++self.transitions;
+        if (opts.edge_check) {
+          std::string msg = opts.edge_check(state, succ, label);
+          if (!msg.empty()) {
+            report(Status::InvariantViolated, item.ref,
+                   "edge '" + label.text + "': " + msg);
+            return;
+          }
+        }
+        self.sink.clear();
+        sys.encode(succ, self.sink);
+        auto ins =
+            seen.insert(self.sink.bytes(), ShardedStateSet::pack(item.ref));
+        if (ins.outcome == StateSet::Outcome::Exhausted) {
+          report(Status::Unfinished, {}, std::string());
+          return;
+        }
+        if (ins.outcome == StateSet::Outcome::Inserted) {
+          if (opts.invariant) {
+            std::string msg = opts.invariant(succ);
+            if (!msg.empty()) {
+              report(Status::InvariantViolated, ins.ref, std::move(msg));
+              return;
+            }
+          }
+          pending.fetch_add(1, std::memory_order_release);
+          auto b = self.sink.bytes();
+          std::lock_guard<std::mutex> lock(self.mu);
+          self.frontier.push_back(
+              {ins.ref, std::vector<std::byte>(b.begin(), b.end())});
+        }
+      }
+      pending.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+
+  {
+    ThreadPool pool(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+      pool.submit([&worker_fn, i] { worker_fn(i); });
+    pool.wait_idle();
+  }
+
+  result.status = failed ? fail_status : Status::Ok;
+  result.states = seen.size();
+  result.memory_bytes = seen.memory_used();
+  for (const auto& w : workers) result.transitions += w->transitions;
+  if (failed) {
+    result.violation = std::move(fail_msg);
+    if (opts.want_trace && fail_status != Status::Unfinished)
+      result.trace = detail::rebuild_trace_sharded(sys, seen, fail_ref);
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace ccref::verify

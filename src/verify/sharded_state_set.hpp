@@ -1,0 +1,132 @@
+// Concurrent visited-state set: K independently-locked StateSet shards
+// drawing on one shared MemoryBudget.
+//
+// This is the standard multi-core-SPIN design: a state's 64-bit hash picks
+// the shard (high bits — the shard's own open-addressing table uses the low
+// bits, so the two choices stay independent), and only that shard's mutex is
+// taken for the insert. Per-shard indices are stable in discovery order, so
+// a state is globally identified by a (shard, index) Ref — the parallel
+// checker stores BFS parents as packed Refs and reconstructs counterexample
+// traces exactly like the sequential engine does.
+//
+// Concurrency contract:
+//   * insert() may be called from any thread at any time.
+//   * at() / parent_of() / iteration via shard() require quiescence (no
+//     concurrent insert) — the checker only calls them after workers stop,
+//     because a shard's byte pool may reallocate under insertion.
+#pragma once
+
+#include <array>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "verify/state_set.hpp"
+
+namespace ccref::verify {
+
+class ShardedStateSet {
+ public:
+  using Outcome = StateSet::Outcome;
+
+  /// Global identity of a stored state.
+  struct Ref {
+    std::uint32_t shard = 0;
+    std::uint32_t index = 0;
+
+    friend bool operator==(const Ref&, const Ref&) = default;
+  };
+
+  /// Packed Ref for dense parent arrays; kNoParent marks the root.
+  static constexpr std::uint64_t kNoParent = ~0ull;
+  [[nodiscard]] static constexpr std::uint64_t pack(Ref r) {
+    return (static_cast<std::uint64_t>(r.shard) << 32) | r.index;
+  }
+  [[nodiscard]] static constexpr Ref unpack(std::uint64_t p) {
+    return {static_cast<std::uint32_t>(p >> 32),
+            static_cast<std::uint32_t>(p)};
+  }
+
+  struct InsertResult {
+    Outcome outcome;
+    Ref ref;  // valid unless Exhausted
+  };
+
+  /// `shard_count` is rounded up to a power of two and clamped to
+  /// [1, kMaxShards]. `track_parents` reserves one packed Ref per state for
+  /// trace reconstruction.
+  ShardedStateSet(std::size_t memory_limit_bytes, unsigned shard_count,
+                  bool track_parents = false)
+      : budget_(memory_limit_bytes), track_parents_(track_parents) {
+    unsigned n = 1;
+    while (n < shard_count && n < kMaxShards) n <<= 1;
+    shard_bits_ = 0;
+    for (unsigned v = n; v > 1; v >>= 1) ++shard_bits_;
+    shards_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+      shards_.push_back(std::make_unique<Shard>(budget_));
+  }
+
+  /// Thread-safe insert; `parent` is recorded for fresh states when parent
+  /// tracking is on (pass pack(ref) of the BFS predecessor, kNoParent for
+  /// the root).
+  [[nodiscard]] InsertResult insert(std::span<const std::byte> state,
+                                    std::uint64_t parent = kNoParent) {
+    const std::uint64_t h = hash_bytes(state);
+    const auto si = static_cast<std::uint32_t>(
+        shard_bits_ == 0 ? 0 : h >> (64 - shard_bits_));
+    Shard& sh = *shards_[si];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto r = sh.set.insert(state, h);
+    if (r.outcome == Outcome::Inserted && track_parents_)
+      sh.parents.push_back(parent);
+    return {r.outcome, {si, r.index}};
+  }
+
+  /// Quiescent-only: bytes of a stored state.
+  [[nodiscard]] std::span<const std::byte> at(Ref r) const {
+    return shards_[r.shard]->set.at(r.index);
+  }
+
+  /// Quiescent-only: BFS parent recorded at insertion (kNoParent for root).
+  [[nodiscard]] std::uint64_t parent_of(Ref r) const {
+    CCREF_REQUIRE(track_parents_);
+    return shards_[r.shard]->parents[r.index];
+  }
+
+  /// Quiescent-only: total states across shards.
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& sh : shards_) total += sh->set.size();
+    return total;
+  }
+
+  [[nodiscard]] std::size_t memory_used() const { return budget_.used(); }
+  [[nodiscard]] std::size_t memory_limit() const { return budget_.limit(); }
+  [[nodiscard]] unsigned shard_count() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+  /// Quiescent-only access to one shard's set (post-run iteration).
+  [[nodiscard]] const StateSet& shard(unsigned i) const {
+    return shards_[i]->set;
+  }
+
+ private:
+  static constexpr unsigned kMaxShards = 256;
+
+  struct Shard {
+    explicit Shard(MemoryBudget& budget) : set(budget) {}
+    std::mutex mu;
+    StateSet set;
+    std::vector<std::uint64_t> parents;
+  };
+
+  MemoryBudget budget_;
+  unsigned shard_bits_ = 0;
+  bool track_parents_;
+  // unique_ptr: Shard holds a mutex and must not move when the vector grows
+  // (it never grows post-construction, but stay safe).
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ccref::verify

@@ -8,16 +8,20 @@
 // Memory accounting is explicit because Table 3 of the paper reports
 // verifications "limited to 64MB of memory": insert() refuses (returns
 // Exhausted) once pool + table + index bytes would exceed the limit, letting
-// the checker report `Unfinished` exactly like the paper does.
+// the checker report `Unfinished` exactly like the paper does. The budget can
+// be owned (sequential checker, one set) or shared (ShardedStateSet: K shards
+// drawing on one limit).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "support/contracts.hpp"
 #include "support/hash.hpp"
+#include "verify/memory_budget.hpp"
 
 namespace ccref::verify {
 
@@ -31,12 +35,25 @@ class StateSet {
   };
 
   explicit StateSet(std::size_t memory_limit_bytes)
-      : limit_(memory_limit_bytes) {
+      : owned_(std::make_unique<MemoryBudget>(memory_limit_bytes)),
+        budget_(owned_.get()) {
+    table_.resize(kInitialSlots, kEmpty);
+  }
+
+  /// Shard constructor: draw on a budget shared with sibling sets. The
+  /// caller keeps `budget` alive for the set's lifetime.
+  explicit StateSet(MemoryBudget& budget) : budget_(&budget) {
     table_.resize(kInitialSlots, kEmpty);
   }
 
   [[nodiscard]] InsertResult insert(std::span<const std::byte> state) {
-    const std::uint64_t h = hash_bytes(state);
+    return insert(state, hash_bytes(state));
+  }
+
+  /// Insert with a precomputed hash (the sharded set hashes once to pick the
+  /// shard and reuses the value here).
+  [[nodiscard]] InsertResult insert(std::span<const std::byte> state,
+                                    std::uint64_t h) {
     std::size_t mask = table_.size() - 1;
     std::size_t slot = h & mask;
     for (;;) {
@@ -56,7 +73,11 @@ class StateSet {
         grown(pool_.capacity(), pool_.size() + state.size()) +
         grown(entries_.capacity(), entries_.size() + 1) * sizeof(Entry) +
         table_.capacity() * sizeof(std::uint32_t);
-    if (projected > limit_) return {Outcome::Exhausted, 0};
+    if (projected > reserved_) {
+      if (!budget_->try_reserve(projected - reserved_))
+        return {Outcome::Exhausted, 0};
+      reserved_ = projected;
+    }
 
     auto index = static_cast<std::uint32_t>(entries_.size());
     CCREF_ASSERT_MSG(index != kEmpty, "state count overflow");
@@ -64,6 +85,7 @@ class StateSet {
                                              state.size())});
     pool_.insert(pool_.end(), state.begin(), state.end());
     table_[slot] = index;
+    reconcile();
     if (entries_.size() * 10 > table_.size() * 7) {
       if (!grow()) {
         // Rolling back keeps the set consistent if the grow would burst the
@@ -83,6 +105,11 @@ class StateSet {
     return {pool_.data() + e.offset, e.len};
   }
 
+  [[nodiscard]] std::uint64_t hash_at(std::uint32_t index) const {
+    CCREF_REQUIRE(index < entries_.size());
+    return entries_[index].hash;
+  }
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
   [[nodiscard]] std::size_t memory_used() const {
@@ -90,7 +117,9 @@ class StateSet {
            table_.capacity() * sizeof(std::uint32_t);
   }
 
-  [[nodiscard]] std::size_t memory_limit() const { return limit_; }
+  [[nodiscard]] std::size_t memory_limit() const { return budget_->limit(); }
+
+  [[nodiscard]] MemoryBudget& budget() { return *budget_; }
 
  private:
   struct Entry {
@@ -109,10 +138,24 @@ class StateSet {
     return std::equal(state.begin(), state.end(), pool_.begin() + ent.offset);
   }
 
+  /// Charge the budget for any capacity the vectors actually grabbed beyond
+  /// the projection (libstdc++ doubles exactly, so this is normally a no-op;
+  /// stay honest on other growth policies).
+  void reconcile() {
+    std::size_t actual = memory_used();
+    if (actual > reserved_) {
+      // Over-projection failure here would mean the allocator already
+      // grabbed the memory; record it rather than lie about usage.
+      (void)budget_->try_reserve(actual - reserved_);
+      reserved_ = actual;
+    }
+  }
+
   [[nodiscard]] bool grow() {
     std::size_t new_slots = table_.size() * 2;
-    if (memory_used() + new_slots * sizeof(std::uint32_t) > limit_)
-      return false;
+    // The old and the new table coexist during rehash; both are charged.
+    if (!budget_->try_reserve(new_slots * sizeof(std::uint32_t))) return false;
+    reserved_ += new_slots * sizeof(std::uint32_t);
     std::vector<std::uint32_t> fresh(new_slots, kEmpty);
     std::size_t mask = new_slots - 1;
     for (std::uint32_t e = 0; e < entries_.size(); ++e) {
@@ -120,11 +163,16 @@ class StateSet {
       while (fresh[slot] != kEmpty) slot = (slot + 1) & mask;
       fresh[slot] = e;
     }
+    std::size_t old_bytes = table_.capacity() * sizeof(std::uint32_t);
     table_ = std::move(fresh);
+    budget_->release(old_bytes);
+    reserved_ -= old_bytes;
     return true;
   }
 
-  std::size_t limit_;
+  std::unique_ptr<MemoryBudget> owned_;  // null when the budget is shared
+  MemoryBudget* budget_;
+  std::size_t reserved_ = 0;  // bytes currently charged to the budget
   std::vector<std::byte> pool_;
   std::vector<Entry> entries_;
   std::vector<std::uint32_t> table_;
