@@ -35,9 +35,17 @@ int main(int argc, char** argv) {
                        << 20;
   auto jobs = static_cast<unsigned>(
       cli.int_flag("jobs", 1, "worker threads (1 = sequential engine)"));
+  std::string sym_arg = cli.str_flag(
+      "symmetry", "off", "symmetry reduction: off | canonical");
   std::string json_path =
       cli.str_flag("json", "", "dump machine-readable results to this file");
   cli.finish();
+  auto symmetry = verify::parse_symmetry(sym_arg);
+  if (!symmetry) {
+    std::fprintf(stderr, "bad --symmetry value '%s' (off | canonical)\n",
+                 sym_arg.c_str());
+    return 2;
+  }
 
   auto p = protocols::make_migratory();
   auto rp = refine::refine(p);
@@ -46,19 +54,36 @@ int main(int argc, char** argv) {
   Table table({"Semantics", "N", "Status", "States", "Time (s)", "Memory"});
   JsonArrayFile json;
 
-  auto record = [&](const char* semantics, int n,
-                    const verify::CheckResult& r) {
+  auto base_row = [&](const char* semantics, int n, bool bitstate) {
     JsonObject o;
     o.field("bench", "scaling")
         .field("protocol", "Migratory")
         .field("n", n)
         .field("semantics", semantics)
-        .field("status", verify::to_string(r.status))
+        .field("engine", jobs <= 1 ? "seq" : "par")
+        .field("jobs", static_cast<int>(jobs))
+        .field("symmetry", verify::to_string(*symmetry))
+        .field("bitstate", bitstate);
+    return o;
+  };
+  auto record = [&](const char* semantics, int n,
+                    const verify::CheckResult& r) {
+    JsonObject o = base_row(semantics, n, /*bitstate=*/false);
+    o.field("status", verify::to_string(r.status))
         .field("states", r.states)
         .field("transitions", r.transitions)
         .field("seconds", r.seconds)
-        .field("memory_bytes", r.memory_bytes)
-        .field("jobs", static_cast<int>(jobs));
+        .field("memory_bytes", r.memory_bytes);
+    json.push(o);
+  };
+  auto record_bitstate = [&](const char* semantics, int n,
+                             const verify::BitstateResult& r) {
+    JsonObject o = base_row(semantics, n, /*bitstate=*/true);
+    o.field("status", r.state_bounded ? "approximate (capped)" : "approximate")
+        .field("states", r.states)
+        .field("transitions", r.transitions)
+        .field("seconds", r.seconds)
+        .field("memory_bytes", r.memory_bytes);
     json.push(o);
   };
 
@@ -66,6 +91,7 @@ int main(int argc, char** argv) {
     verify::CheckOptions<sem::RendezvousSystem> opts;
     opts.memory_limit = rv_mem;
     opts.want_trace = false;
+    opts.symmetry = *symmetry;
     sem::RendezvousSystem sys(p, n);
     auto r = jobs <= 1 ? verify::explore(sys, opts)
                        : verify::par_explore(sys, opts, jobs);
@@ -80,6 +106,7 @@ int main(int argc, char** argv) {
     verify::CheckOptions<runtime::AsyncSystem> opts;
     opts.memory_limit = as_mem;
     opts.want_trace = false;
+    opts.symmetry = *symmetry;
     runtime::AsyncSystem sys(rp, n);
     auto r = jobs <= 1 ? verify::explore(sys, opts)
                        : verify::par_explore(sys, opts, jobs);
@@ -96,11 +123,12 @@ int main(int argc, char** argv) {
   for (int n : {5, 6}) {
     auto r = verify::explore_bitstate(runtime::AsyncSystem(rp, n),
                                       8u << 20, 100000, {},
-                                      /*max_states=*/250000);
+                                      /*max_states=*/250000, *symmetry);
     table.row({"async bitstate (8MB)", strf("%d", n),
                r.state_bounded ? "approximate (capped)" : "approximate",
                strf("%zu+", r.states), strf("%.2f", r.seconds),
                human_bytes(r.memory_bytes)});
+    record_bitstate("asynchronous", n, r);
   }
 
   table.print(std::cout);

@@ -17,6 +17,7 @@
 #include "runtime/async_system.hpp"
 #include "sem/rendezvous.hpp"
 #include "support/cli.hpp"
+#include "verify/bitstate.hpp"
 #include "verify/checker.hpp"
 #include "verify/par_checker.hpp"
 #include "verify/progress.hpp"
@@ -37,7 +38,7 @@ home h {
     r(any j)?take -> GIVE
   }
   state GIVE {
-    r(j)!ticket(next) { next := next + 1; j := node(0) } -> IDLE
+    r(j)!ticket(next) { next := next + 1; j := none } -> IDLE
   }
 }
 
@@ -62,7 +63,19 @@ int main(int argc, char** argv) {
   int n = static_cast<int>(cli.int_flag("remotes", 2, "number of remotes"));
   auto jobs = static_cast<unsigned>(cli.int_flag(
       "jobs", 1, "verification worker threads (1 = sequential engine)"));
+  std::string sym_arg = cli.str_flag(
+      "symmetry", "off", "symmetry reduction: off | canonical");
+  bool bitstate = cli.bool_flag(
+      "bitstate", false,
+      "approximate supertrace search (8MB bit array; skips the simulation "
+      "and progress checks)");
   cli.finish();
+  auto symmetry = verify::parse_symmetry(sym_arg);
+  if (!symmetry) {
+    std::fprintf(stderr, "bad --symmetry value '%s' (off | canonical)\n",
+                 sym_arg.c_str());
+    return 2;
+  }
 
   dsl::ParseResult parsed =
       cli.positional().empty() ? dsl::parse(kBundledTicket)
@@ -86,8 +99,26 @@ int main(int argc, char** argv) {
     std::printf("warnings:\n%s\n", ir::to_string(diags).c_str());
 
   sem::RendezvousSystem rendezvous(p, n);
-  auto rv = jobs <= 1 ? verify::explore(rendezvous)
-                      : verify::par_explore(rendezvous, {}, jobs);
+  if (bitstate) {
+    auto rb = verify::explore_bitstate(rendezvous, 8u << 20, 100000, {},
+                                       /*max_states=*/0, *symmetry);
+    std::printf("rendezvous (%d remotes, bitstate): %zu+ states (%.3fs)\n",
+                n, rb.states, rb.seconds);
+    auto refined_bit = refine::refine(p);
+    auto ab = verify::explore_bitstate(
+        runtime::AsyncSystem(refined_bit, n), 8u << 20, 100000, {},
+        /*max_states=*/0, *symmetry);
+    std::printf("asynchronous (%d remotes, bitstate): %zu+ states (%.3fs)\n",
+                n, ab.states, ab.seconds);
+    std::printf("\nbitstate coverage only — rerun without --bitstate for the "
+                "exact search\nwith the Equation 1 simulation and progress "
+                "checks.\n");
+    return 0;
+  }
+  verify::CheckOptions<sem::RendezvousSystem> rv_opts;
+  rv_opts.symmetry = *symmetry;
+  auto rv = jobs <= 1 ? verify::explore(rendezvous, rv_opts)
+                      : verify::par_explore(rendezvous, rv_opts, jobs);
   std::printf("rendezvous (%d remotes): %s, %zu states (%.3fs)\n", n,
               verify::to_string(rv.status), rv.states, rv.seconds);
   if (rv.status != verify::Status::Ok) {
@@ -104,6 +135,7 @@ int main(int argc, char** argv) {
 
   runtime::AsyncSystem async(refined, n);
   verify::CheckOptions<runtime::AsyncSystem> opts;
+  opts.symmetry = *symmetry;
   opts.edge_check = refine::make_simulation_checker(async, rendezvous);
   auto as = jobs <= 1 ? verify::explore(async, opts)
                       : verify::par_explore(async, opts, jobs);

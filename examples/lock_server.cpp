@@ -17,6 +17,7 @@
 #include "support/cli.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "verify/bitstate.hpp"
 #include "verify/checker.hpp"
 #include "verify/par_checker.hpp"
 #include "verify/progress.hpp"
@@ -30,35 +31,70 @@ int main(int argc, char** argv) {
       cli.int_flag("acquisitions", 50, "lock/unlock pairs per client"));
   auto jobs = static_cast<unsigned>(cli.int_flag(
       "jobs", 1, "verification worker threads (1 = sequential engine)"));
+  std::string sym_arg = cli.str_flag(
+      "symmetry", "off", "symmetry reduction: off | canonical");
+  bool bitstate = cli.bool_flag(
+      "bitstate", false,
+      "approximate supertrace verification (8MB bit array; skips the "
+      "simulation and progress checks)");
   cli.finish();
+  auto symmetry = verify::parse_symmetry(sym_arg);
+  if (!symmetry) {
+    std::fprintf(stderr, "bad --symmetry value '%s' (off | canonical)\n",
+                 sym_arg.c_str());
+    return 2;
+  }
 
   auto p = protocols::make_lock_server();
 
   // ---- verify ------------------------------------------------------------------
   const int check_n = std::min(n, 3);
   sem::RendezvousSystem rendezvous(p, check_n);
-  verify::CheckOptions<sem::RendezvousSystem> rv_opts;
-  rv_opts.invariant = protocols::lock_server_invariant(p, check_n);
-  auto rv = jobs <= 1 ? verify::explore(rendezvous, rv_opts)
-                      : verify::par_explore(rendezvous, rv_opts, jobs);
-  std::printf("rendezvous mutual exclusion (%d clients): %s (%zu states)\n",
-              check_n, verify::to_string(rv.status), rv.states);
-
   auto refined = refine::refine(p);
-  runtime::AsyncSystem async(refined, check_n);
-  verify::CheckOptions<runtime::AsyncSystem> as_opts;
-  as_opts.memory_limit = 512u << 20;
-  as_opts.invariant = protocols::lock_server_async_invariant(p, check_n);
-  as_opts.edge_check = refine::make_simulation_checker(async, rendezvous);
-  auto as = jobs <= 1 ? verify::explore(async, as_opts)
-                      : verify::par_explore(async, as_opts, jobs);
-  std::printf("asynchronous + Equation 1 (%d clients): %s (%zu states)\n",
-              check_n, verify::to_string(as.status), as.states);
-  auto prog = verify::check_progress(async);
-  std::printf("forward progress: %zu doomed states\n\n", prog.doomed);
-  if (rv.status != verify::Status::Ok || as.status != verify::Status::Ok ||
-      prog.doomed != 0)
-    return 1;
+  if (bitstate) {
+    // Supertrace mode: invariant violations found are real; state counts
+    // are lower bounds, and the simulation/progress checks need the exact
+    // engine.
+    auto rb = verify::explore_bitstate(
+        rendezvous, 8u << 20, 100000,
+        protocols::lock_server_invariant(p, check_n), /*max_states=*/0,
+        *symmetry);
+    std::printf("rendezvous mutual exclusion (%d clients, bitstate): %s "
+                "(%zu+ states)\n",
+                check_n, rb.violation.empty() ? "Ok" : "VIOLATED", rb.states);
+    auto ab = verify::explore_bitstate(
+        runtime::AsyncSystem(refined, check_n), 8u << 20, 100000,
+        protocols::lock_server_async_invariant(p, check_n), /*max_states=*/0,
+        *symmetry);
+    std::printf("asynchronous mutual exclusion (%d clients, bitstate): %s "
+                "(%zu+ states)\n\n",
+                check_n, ab.violation.empty() ? "Ok" : "VIOLATED", ab.states);
+    if (!rb.violation.empty() || !ab.violation.empty()) return 1;
+  } else {
+    verify::CheckOptions<sem::RendezvousSystem> rv_opts;
+    rv_opts.symmetry = *symmetry;
+    rv_opts.invariant = protocols::lock_server_invariant(p, check_n);
+    auto rv = jobs <= 1 ? verify::explore(rendezvous, rv_opts)
+                        : verify::par_explore(rendezvous, rv_opts, jobs);
+    std::printf("rendezvous mutual exclusion (%d clients): %s (%zu states)\n",
+                check_n, verify::to_string(rv.status), rv.states);
+
+    runtime::AsyncSystem async(refined, check_n);
+    verify::CheckOptions<runtime::AsyncSystem> as_opts;
+    as_opts.memory_limit = 512u << 20;
+    as_opts.symmetry = *symmetry;
+    as_opts.invariant = protocols::lock_server_async_invariant(p, check_n);
+    as_opts.edge_check = refine::make_simulation_checker(async, rendezvous);
+    auto as = jobs <= 1 ? verify::explore(async, as_opts)
+                        : verify::par_explore(async, as_opts, jobs);
+    std::printf("asynchronous + Equation 1 (%d clients): %s (%zu states)\n",
+                check_n, verify::to_string(as.status), as.states);
+    auto prog = verify::check_progress(async);
+    std::printf("forward progress: %zu doomed states\n\n", prog.doomed);
+    if (rv.status != verify::Status::Ok || as.status != verify::Status::Ok ||
+        prog.doomed != 0)
+      return 1;
+  }
 
   // ---- simulate a convoy ---------------------------------------------------------
   refine::Options sim_opts_r;

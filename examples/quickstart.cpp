@@ -29,7 +29,7 @@ int main() {
   ir::MsgId VAL = b.msg("val", {ir::Type::Int});
 
   auto& h = b.home();
-  ir::VarId j = h.var("j", ir::Type::Node);
+  ir::VarId j = h.var("j", ir::Type::Node, ir::kNoNode);
   ir::VarId c = h.var("c", ir::Type::Int, 0, 4);
   h.comm("IDLE").initial();
   h.comm("REPLY");
@@ -40,7 +40,7 @@ int main() {
   h.output("REPLY", VAL)
       .to(ir::ex::var(j))
       .pay({ir::ex::var(c)})
-      .act(ir::st::assign(j, ir::ex::node(0)))
+      .act(ir::st::assign(j, ir::ex::no_node()))
       .go("IDLE");
 
   auto& r = b.remote();

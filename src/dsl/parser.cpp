@@ -27,7 +27,7 @@ namespace {
 const std::set<std::string_view> kReserved = {
     "protocol", "message", "home", "remote", "var",  "state",
     "internal", "initial", "tau",  "skip",   "true", "false",
-    "self",     "empty",   "size", "node",   "any",  "pick",
+    "self",     "empty",   "size", "node",   "none", "any",  "pick",
     "as",       "mod",     "in",   "h",      "r",    "bool",
     "int",      "nodeset"};
 
@@ -175,7 +175,9 @@ class Parser {
     expect(Tok::Colon);
     Type type = parse_type();
     std::uint32_t bound = 2;
-    ir::Value init = 0;
+    // Node variables start out naming no remote; any other default would pin
+    // a concrete node id and break symmetry (see kNoNode in ir/types.hpp).
+    ir::Value init = type == Type::Node ? ir::kNoNode : 0;
     if (eat_word("mod")) bound = static_cast<std::uint32_t>(integer());
     if (peek().is(Tok::Eq)) {
       advance();
@@ -454,6 +456,7 @@ class Parser {
       expect(Tok::RParen);
       return e;
     }
+    if (eat_word("none")) return ex::no_node();
     if (eat_word("empty")) {
       expect(Tok::LParen);
       ExprP e = ex::set_empty(parse_expr());

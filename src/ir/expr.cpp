@@ -71,6 +71,7 @@ std::string to_string(const Expr& e, const Process& proc) {
     case K::IntLit:
       return strf("%lld", static_cast<long long>(e.ival));
     case K::NodeLit:
+      if (static_cast<Value>(e.ival) == kNoNode) return "none";
       return strf("node(%lld)", static_cast<long long>(e.ival));
     case K::BoolLit:
       return e.ival ? "true" : "false";
@@ -128,6 +129,10 @@ ExprP lit(std::int64_t v) {
 }
 ExprP node(std::int64_t id) {
   return make(Expr::Kind::NodeLit, id, kNoVar, nullptr, nullptr);
+}
+ExprP no_node() {
+  return make(Expr::Kind::NodeLit, static_cast<std::int64_t>(kNoNode), kNoVar,
+              nullptr, nullptr);
 }
 ExprP boolean(bool v) {
   return make(Expr::Kind::BoolLit, v ? 1 : 0, kNoVar, nullptr, nullptr);

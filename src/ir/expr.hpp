@@ -70,6 +70,9 @@ namespace ex {
 
 [[nodiscard]] ExprP lit(std::int64_t v);
 [[nodiscard]] ExprP node(std::int64_t id);
+/// The null node (kNoNode); the only Node literal protocols should use to
+/// reset a dead binder — see the kNoNode doc in types.hpp.
+[[nodiscard]] ExprP no_node();
 [[nodiscard]] ExprP boolean(bool v);
 [[nodiscard]] ExprP empty_set();
 [[nodiscard]] ExprP var(VarId v);

@@ -101,7 +101,11 @@ std::string to_string(const Process& proc, const Protocol& protocol) {
     out += strf("  var %s: %s", v.name.c_str(),
                 std::string(type_name(v.type)).c_str());
     if (v.type == Type::Int) out += strf(" mod %u", v.bound);
-    if (v.init != 0) out += strf(" = %llu", (unsigned long long)v.init);
+    // Emit the initializer whenever it differs from the parser's default for
+    // the type (node vars default to the null node, everything else to 0).
+    const Value default_init = v.type == Type::Node ? kNoNode : 0;
+    if (v.init != default_init)
+      out += strf(" = %llu", (unsigned long long)v.init);
     out += ";\n";
   }
   for (std::size_t i = 0; i < proc.states.size(); ++i) {

@@ -35,6 +35,16 @@ enum class Type : std::uint8_t { Bool, Int, Node, NodeSet };
 /// NodeSet: bitmask.
 using Value = std::uint64_t;
 
+/// The null node: the value of a Node variable that currently names no
+/// remote ("dead binder"). It sits one past the largest legal node id, so it
+/// can never collide with a real remote and — crucially for symmetry
+/// reduction — is a fixed point of every node permutation. Protocols must
+/// reset dead Node binders to kNoNode (`none` in the DSL), never to a
+/// literal id like node(0): a scalarset-typed literal pins one concrete
+/// remote and breaks the permutation-equivariance the orbit quotient relies
+/// on (and inflates the unreduced state space with stale-id distinctions).
+inline constexpr Value kNoNode = 64;  // == support kMaxNodes
+
 using VarId = std::uint16_t;
 using StateId = std::uint16_t;
 using MsgId = std::uint8_t;

@@ -28,9 +28,9 @@ Protocol make_invalidate(const InvalidateOptions& opts) {
   // ---- home node ----
   auto& h = b.home();
   VarId cs = h.var("cs", Type::NodeSet);  // sharers
-  VarId o = h.var("o", Type::Node);       // exclusive owner (when excl)
-  VarId j = h.var("j", Type::Node);       // pending requester
-  VarId t = h.var("t", Type::Node);       // invalidation target
+  VarId o = h.var("o", Type::Node, kNoNode);       // exclusive owner (when excl)
+  VarId j = h.var("j", Type::Node, kNoNode);       // pending requester
+  VarId t = h.var("t", Type::Node, kNoNode);       // invalidation target
   VarId excl = h.var("excl", Type::Bool);
   VarId mem = h.var("mem", Type::Int, 0, opts.data_domain);
 
@@ -51,7 +51,7 @@ Protocol make_invalidate(const InvalidateOptions& opts) {
       .act(st::set_remove(cs, var(j)))  // an upgrading sharer leaves cs
       .go("INV");
   h.input("H", REQX).from_any(j).when(var(excl)).go("RX2");
-  // Dead binders (t, j, o) are reset to node(0) once no longer needed so the
+  // Dead binders (t, j, o) are reset to the null node once no longer needed so the
   // rendezvous state space stays canonical (states differing only in stale
   // binder values collapse).
   h.input("H", WB)
@@ -59,29 +59,29 @@ Protocol make_invalidate(const InvalidateOptions& opts) {
       .when(var(excl))
       .bind({mem})
       .act(st::seq({st::assign(excl, ex::boolean(false)),
-                    st::assign(o, ex::node(0))}))
+                    st::assign(o, ex::no_node())}))
       .go("H")
       .label("voluntary writeback");
   h.input("H", DROP)
       .from_any(t)
-      .act(st::seq({st::set_remove(cs, var(t)), st::assign(t, ex::node(0))}))
+      .act(st::seq({st::set_remove(cs, var(t)), st::assign(t, ex::no_node())}))
       .go("H");
 
   h.output("GS", GRS)
       .to(var(j))
       .pay({var(mem)})
-      .act(st::seq({st::set_add(cs, var(j)), st::assign(j, ex::node(0))}))
+      .act(st::seq({st::set_add(cs, var(j)), st::assign(j, ex::no_node())}))
       .go("H");
 
   // Invalidation sweep: each inv rendezvous is itself the acknowledgement;
   // concurrent sharer drops are also accepted so the sweep cannot deadlock.
   h.output("INV", INV)
       .to_any_in(var(cs), t)
-      .act(st::seq({st::set_remove(cs, var(t)), st::assign(t, ex::node(0))}))
+      .act(st::seq({st::set_remove(cs, var(t)), st::assign(t, ex::no_node())}))
       .go("INV");
   h.input("INV", DROP)
       .from_any(t)
-      .act(st::seq({st::set_remove(cs, var(t)), st::assign(t, ex::node(0))}))
+      .act(st::seq({st::set_remove(cs, var(t)), st::assign(t, ex::no_node())}))
       .go("INV");
   h.tau("INV", "swept").when(set_empty(var(cs))).go("GX");
 
@@ -89,7 +89,7 @@ Protocol make_invalidate(const InvalidateOptions& opts) {
       .to(var(j))
       .pay({var(mem)})
       .act(st::seq({st::assign(excl, ex::boolean(true)),
-                    st::assign(o, var(j)), st::assign(j, ex::node(0))}))
+                    st::assign(o, var(j)), st::assign(j, ex::no_node())}))
       .go("H");
 
   h.output("RX1", RVK).to(var(o)).go("RX1W");
@@ -97,14 +97,14 @@ Protocol make_invalidate(const InvalidateOptions& opts) {
       .from(var(o))
       .bind({mem})
       .act(st::seq({st::assign(excl, ex::boolean(false)),
-                    st::assign(o, ex::node(0))}))
+                    st::assign(o, ex::no_node())}))
       .go("GS")
       .label("evict raced revoke");
   h.input("RX1W", WB)
       .from(var(o))
       .bind({mem})
       .act(st::seq({st::assign(excl, ex::boolean(false)),
-                    st::assign(o, ex::node(0))}))
+                    st::assign(o, ex::no_node())}))
       .go("GS");
 
   h.output("RX2", RVK).to(var(o)).go("RX2W");
@@ -112,14 +112,14 @@ Protocol make_invalidate(const InvalidateOptions& opts) {
       .from(var(o))
       .bind({mem})
       .act(st::seq({st::assign(excl, ex::boolean(false)),
-                    st::assign(o, ex::node(0))}))
+                    st::assign(o, ex::no_node())}))
       .go("INV")
       .label("evict raced revoke");
   h.input("RX2W", WB)
       .from(var(o))
       .bind({mem})
       .act(st::seq({st::assign(excl, ex::boolean(false)),
-                    st::assign(o, ex::node(0))}))
+                    st::assign(o, ex::no_node())}))
       .go("INV");
 
   // ---- remote node ----

@@ -21,9 +21,9 @@ Protocol make_lock_server() {
   // ---- server (home) ----
   auto& h = b.home();
   VarId w = h.var("w", Type::NodeSet);  // parked waiters
-  VarId o = h.var("o", Type::Node);     // current holder
-  VarId j = h.var("j", Type::Node);     // fresh requester
-  VarId t = h.var("t", Type::Node);     // waiter being granted
+  VarId o = h.var("o", Type::Node, kNoNode);     // current holder
+  VarId j = h.var("j", Type::Node, kNoNode);     // fresh requester
+  VarId t = h.var("t", Type::Node, kNoNode);     // waiter being granted
   VarId held = h.var("held", Type::Bool);
 
   h.comm("L").initial();
@@ -37,14 +37,14 @@ Protocol make_lock_server() {
   h.input("L", ACQ)
       .from_any(j)
       .when(var(held))
-      .act(st::seq({st::set_add(w, var(j)), st::assign(j, ex::node(0))}))
+      .act(st::seq({st::set_add(w, var(j)), st::assign(j, ex::no_node())}))
       .go("L")
       .label("lock busy: park");
   h.input("L", REL)
       .from(var(o))
       .when(var(held))
       .act(st::seq({st::assign(held, boolean(false)),
-                    st::assign(o, ex::node(0))}))
+                    st::assign(o, ex::no_node())}))
       .go("L");
   // Hand the lock to an arbitrary parked waiter once it is free.
   h.output("L", GRANT)
@@ -52,12 +52,12 @@ Protocol make_lock_server() {
       .to_any_in(var(w), t)
       .act(st::seq({st::set_remove(w, var(t)), st::assign(o, var(t)),
                     st::assign(held, boolean(true)),
-                    st::assign(t, ex::node(0))}))
+                    st::assign(t, ex::no_node())}))
       .go("L");
   h.output("G", GRANT)
       .to(var(j))
       .act(st::seq({st::assign(o, var(j)), st::assign(held, boolean(true)),
-                    st::assign(j, ex::node(0))}))
+                    st::assign(j, ex::no_node())}))
       .go("L");
 
   // ---- client (remote) ----

@@ -22,8 +22,8 @@ Protocol make_migratory(const MigratoryOptions& opts) {
 
   // ---- home node (Fig. 2) ----
   auto& h = b.home();
-  VarId o = h.var("o", Type::Node);    // current owner
-  VarId j = h.var("j", Type::Node);    // pending requester
+  VarId o = h.var("o", Type::Node, kNoNode);    // current owner
+  VarId j = h.var("j", Type::Node, kNoNode);    // pending requester
   VarId mem = h.var("mem", Type::Int, 0, opts.data_domain);
 
   h.comm("F").initial();
@@ -33,20 +33,22 @@ Protocol make_migratory(const MigratoryOptions& opts) {
   h.comm("I2");
   h.comm("I3");
 
-  // Dead binders are reset to node(0) as soon as their rendezvous no longer
-  // needs them; this canonicalizes states that differ only in stale values
-  // and keeps the rendezvous state space small (the property behind the
-  // paper's "model checked for up to 64 nodes in 32 MB").
+  // Dead binders are reset to the null node as soon as their rendezvous no
+  // longer needs them; this canonicalizes states that differ only in stale
+  // values and keeps the rendezvous state space small (the property behind
+  // the paper's "model checked for up to 64 nodes in 32 MB"). The reset
+  // value must be `no_node()` — a literal id like node(0) would pin remote 0
+  // and break the permutation symmetry the orbit quotient relies on.
   h.input("F", REQ).from_any(j).go("GRANT").label("first requester");
   h.output("GRANT", GR)
       .to(var(j))
       .pay({var(mem)})
-      .act(st::seq({st::assign(o, var(j)), st::assign(j, ex::node(0))}))
+      .act(st::seq({st::assign(o, var(j)), st::assign(j, ex::no_node())}))
       .go("E");
   h.input("E", LR)
       .from(var(o))
       .bind({mem})
-      .act(st::assign(o, ex::node(0)))
+      .act(st::assign(o, ex::no_node()))
       .go("F")
       .label("owner gives up");
   h.input("E", REQ).from_any(j).go("I1").label("new requester; revoke");
@@ -54,18 +56,18 @@ Protocol make_migratory(const MigratoryOptions& opts) {
   h.input("I1", LR)
       .from(var(o))
       .bind({mem})
-      .act(st::assign(o, ex::node(0)))
+      .act(st::assign(o, ex::no_node()))
       .go("I3")
       .label("evict raced inv");
   h.input("I2", ID)
       .from(var(o))
       .bind({mem})
-      .act(st::assign(o, ex::node(0)))
+      .act(st::assign(o, ex::no_node()))
       .go("I3");
   h.output("I3", GR)
       .to(var(j))
       .pay({var(mem)})
-      .act(st::seq({st::assign(o, var(j)), st::assign(j, ex::node(0))}))
+      .act(st::seq({st::assign(o, var(j)), st::assign(j, ex::no_node())}))
       .go("E");
 
   // ---- remote node (Fig. 3) ----

@@ -25,8 +25,8 @@ Protocol make_write_update(const WriteUpdateOptions& opts) {
   auto& h = b.home();
   VarId cs = h.var("cs", Type::NodeSet);   // sharers
   VarId rem = h.var("rem", Type::NodeSet); // sweep worklist
-  VarId j = h.var("j", Type::Node);        // requester / writer
-  VarId t = h.var("t", Type::Node);        // sweep target
+  VarId j = h.var("j", Type::Node, kNoNode);        // requester / writer
+  VarId t = h.var("t", Type::Node, kNoNode);        // sweep target
   VarId mem = h.var("mem", Type::Int, 0, opts.data_domain);
 
   h.comm("H").initial();
@@ -38,18 +38,18 @@ Protocol make_write_update(const WriteUpdateOptions& opts) {
       .from_any(j)
       .bind({mem})
       .act(st::seq({st::assign(rem, var(cs)), st::set_remove(rem, var(j)),
-                    st::assign(j, ex::node(0))}))
+                    st::assign(j, ex::no_node())}))
       .go("UPD")
       .label("write-through; push to the other sharers");
   h.input("H", DROP)
       .from_any(t)
-      .act(st::seq({st::set_remove(cs, var(t)), st::assign(t, ex::node(0))}))
+      .act(st::seq({st::set_remove(cs, var(t)), st::assign(t, ex::no_node())}))
       .go("H");
 
   h.output("GS", GRS)
       .to(var(j))
       .pay({var(mem)})
-      .act(st::seq({st::set_add(cs, var(j)), st::assign(j, ex::node(0))}))
+      .act(st::seq({st::set_add(cs, var(j)), st::assign(j, ex::no_node())}))
       .go("H");
 
   // Update sweep: push the new value to every remaining sharer; concurrent
@@ -58,12 +58,12 @@ Protocol make_write_update(const WriteUpdateOptions& opts) {
   h.output("UPD", UPD)
       .to_any_in(var(rem), t)
       .pay({var(mem)})
-      .act(st::seq({st::set_remove(rem, var(t)), st::assign(t, ex::node(0))}))
+      .act(st::seq({st::set_remove(rem, var(t)), st::assign(t, ex::no_node())}))
       .go("UPD");
   h.input("UPD", DROP)
       .from_any(t)
       .act(st::seq({st::set_remove(cs, var(t)), st::set_remove(rem, var(t)),
-                    st::assign(t, ex::node(0))}))
+                    st::assign(t, ex::no_node())}))
       .go("UPD");
   // A second writer racing the sweep would deadlock it (it sits in AW
   // offering only wr, while the sweep offers it only upd). Absorb the write
@@ -72,7 +72,7 @@ Protocol make_write_update(const WriteUpdateOptions& opts) {
       .from_any(j)
       .bind({mem})
       .act(st::seq({st::assign(rem, var(cs)), st::set_remove(rem, var(j)),
-                    st::assign(j, ex::node(0))}))
+                    st::assign(j, ex::no_node())}))
       .go("UPD")
       .label("write raced the sweep; restart");
   h.tau("UPD", "swept").when(set_empty(var(rem))).go("H");

@@ -1,5 +1,7 @@
 #include "runtime/async_system.hpp"
 
+#include <algorithm>
+
 #include "support/strings.hpp"
 
 namespace ccref::runtime {
@@ -760,6 +762,125 @@ std::string AsyncSystem::describe(const AsyncState& s) const {
     }
   }
   return out;
+}
+
+// ---- symmetry ------------------------------------------------------------------
+
+void AsyncSystem::permute(AsyncState& s, const ir::NodePerm& perm) const {
+  CCREF_REQUIRE(perm.size() == static_cast<std::size_t>(n_));
+  const ir::Protocol& p = protocol();
+
+  auto reorder = [&](auto& vec) {
+    std::remove_reference_t<decltype(vec)> out(n_);
+    for (int i = 0; i < n_; ++i) out[perm[i]] = std::move(vec[i]);
+    vec = std::move(out);
+  };
+  reorder(s.remotes);
+  reorder(s.up);
+  reorder(s.down);
+
+  auto remap_msg = [&](Msg& m) {
+    if (m.src != Msg::kHomeSrc && m.src < n_) m.src = perm[m.src];
+    if (m.meta != Meta::Req && m.meta != Meta::Repl) return;
+    const auto& types = p.message(m.msg).payload;
+    for (std::size_t f = 0; f < m.payload.size() && f < types.size(); ++f)
+      m.payload[f] = ir::remap_value(types[f], m.payload[f], perm);
+  };
+
+  ir::remap_store(s.home.store, p.home.vars, perm);
+  // The transient target is remapped even when the home is back in a stable
+  // state: the stale value is still part of the encoding, and a group action
+  // must rename it consistently or two permutations of one state would stop
+  // being equal.
+  if (s.home.t_target < n_) s.home.t_target = perm[s.home.t_target];
+  for (Msg& m : s.home.buffer) remap_msg(m);
+  for (auto& r : s.remotes) {
+    ir::remap_store(r.store, p.remote.vars, perm);
+    if (r.buffer) remap_msg(*r.buffer);
+  }
+  for (auto& c : s.up)
+    for (Msg& m : c.q) remap_msg(m);
+  for (auto& c : s.down)
+    for (Msg& m : c.q) remap_msg(m);
+}
+
+void AsyncSystem::canonicalize(AsyncState& s) const {
+  if (n_ <= 1) return;
+  const ir::Protocol& p = protocol();
+  const auto& hvars = p.home.vars;
+  const auto& rvars = p.remote.vars;
+
+  // Per-remote signature: the remote machine, its two channels, and the
+  // home's view of it (Node/NodeSet references, pending transient target,
+  // which buffer slots hold its requests) — each fact written so that two
+  // interchangeable remotes produce byte-identical signatures. Node values
+  // naming *other* remotes stay raw: sound, but only partially canonical
+  // for protocols with cross-remote references (the shipped ones have none).
+  ByteSink sink;
+  auto sig_value = [&](ir::Type t, ir::Value val, int self) {
+    switch (t) {
+      case ir::Type::Node:
+        sink.varint(val == static_cast<ir::Value>(self)
+                        ? static_cast<ir::Value>(n_)
+                        : val);
+        break;
+      case ir::Type::NodeSet:
+        sink.u8((val >> self) & 1u);
+        sink.varint(val & ~(ir::Value{1} << self));
+        break;
+      default:
+        sink.varint(val);
+    }
+  };
+  auto sig_msg = [&](const Msg& m, int self) {
+    sink.u8(static_cast<std::uint8_t>(m.meta));
+    sink.u8(m.msg);
+    // 0xfe tags "sent by this remote": raw src values are node ids < 64.
+    sink.u8(m.src == static_cast<std::uint8_t>(self) ? 0xfe : m.src);
+    if (m.meta != Meta::Req && m.meta != Meta::Repl) return;
+    const auto& types = p.message(m.msg).payload;
+    for (std::size_t f = 0; f < m.payload.size(); ++f)
+      sig_value(f < types.size() ? types[f] : ir::Type::Int, m.payload[f],
+                self);
+  };
+
+  std::vector<std::vector<std::byte>> sig(n_);
+  for (int i = 0; i < n_; ++i) {
+    sink.clear();
+    const RemoteMachine& r = s.remotes[i];
+    sink.u8(r.transient ? 1 : 0);
+    sink.varint(r.state);
+    for (std::size_t v = 0; v < rvars.size(); ++v)
+      sig_value(rvars[v].type, r.store.get(static_cast<ir::VarId>(v)), i);
+    sink.u8(r.buffer.has_value() ? 1 : 0);
+    if (r.buffer) sig_msg(*r.buffer, i);
+    for (const Channel* c : {&s.up[i], &s.down[i]}) {
+      sink.u8(static_cast<std::uint8_t>(c->size()));
+      for (const Msg& m : c->q) sig_msg(m, i);
+    }
+    for (std::size_t v = 0; v < hvars.size(); ++v) {
+      const ir::Value val = s.home.store.get(static_cast<ir::VarId>(v));
+      if (hvars[v].type == ir::Type::Node)
+        sink.u8(val == static_cast<ir::Value>(i) ? 1 : 0);
+      else if (hvars[v].type == ir::Type::NodeSet)
+        sink.u8((val >> i) & 1u);
+    }
+    sink.u8(s.home.t_target == static_cast<std::uint8_t>(i) ? 1 : 0);
+    for (const Msg& m : s.home.buffer)
+      sink.u8(m.src == static_cast<std::uint8_t>(i) ? 1 : 0);
+    sig[i] = std::vector<std::byte>(sink.bytes().begin(), sink.bytes().end());
+  }
+
+  std::vector<int> order(n_);
+  for (int i = 0; i < n_; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return sig[a] != sig[b] ? sig[a] < sig[b] : a < b;
+  });
+
+  ir::NodePerm perm(n_);
+  for (int pos = 0; pos < n_; ++pos)
+    perm[order[pos]] = static_cast<std::uint8_t>(pos);
+  if (!ir::is_identity(perm)) permute(s, perm);
 }
 
 }  // namespace ccref::runtime

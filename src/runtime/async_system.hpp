@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "ir/permute.hpp"
 #include "refine/refined.hpp"
 #include "runtime/async_state.hpp"
 #include "sem/label.hpp"
@@ -40,6 +41,17 @@ class AsyncSystem {
   void encode(const State& s, ByteSink& sink) const;
   [[nodiscard]] State decode(ByteSource& src) const;
   [[nodiscard]] std::string describe(const State& s) const;
+
+  /// Apply a remote-index permutation (perm[old] == new) to `s`: reorder the
+  /// remote machines and their up/down channels, and rename every
+  /// node-indexed fact — message src fields, Node/NodeSet message payloads,
+  /// store variables, and the home's pending transient target — through the
+  /// same permutation.
+  void permute(State& s, const ir::NodePerm& perm) const;
+
+  /// Rewrite `s` in place to its orbit's canonical representative under
+  /// remote permutation (verify::SymmetryMode::Canonical).
+  void canonicalize(State& s) const;
 
   [[nodiscard]] const refine::RefinedProtocol& refined() const {
     return *refined_;

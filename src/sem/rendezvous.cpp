@@ -1,5 +1,7 @@
 #include "sem/rendezvous.hpp"
 
+#include <algorithm>
+
 #include "support/strings.hpp"
 
 namespace ccref::sem {
@@ -219,6 +221,72 @@ std::string RendezvousSystem::describe(const RvState& s) const {
   for (int i = 0; i < n_; ++i)
     out += " " + proc_str(protocol_->remote, s.remotes[i], strf("r%d", i));
   return out;
+}
+
+// ---- symmetry ------------------------------------------------------------------
+
+void RendezvousSystem::permute(RvState& s, const ir::NodePerm& perm) const {
+  CCREF_REQUIRE(perm.size() == static_cast<std::size_t>(n_));
+  std::vector<ProcState> remotes(n_);
+  for (int i = 0; i < n_; ++i) remotes[perm[i]] = std::move(s.remotes[i]);
+  s.remotes = std::move(remotes);
+  ir::remap_store(s.home.store, protocol_->home.vars, perm);
+  for (auto& r : s.remotes)
+    ir::remap_store(r.store, protocol_->remote.vars, perm);
+}
+
+void RendezvousSystem::canonicalize(RvState& s) const {
+  if (n_ <= 1) return;
+  // Per-remote signature: every identity-dependent fact about remote i,
+  // written identity-independently — its own control state and store (Node
+  // self-references fold to a fixed tag; references to *other* remotes stay
+  // raw, which keeps the reduction sound but only partially canonical for
+  // protocols with remote-to-remote references; the shipped protocols have
+  // none), plus the home's view of i (does each home Node var name it, is it
+  // in each home copyset).
+  const auto& hvars = protocol_->home.vars;
+  const auto& rvars = protocol_->remote.vars;
+  std::vector<std::vector<std::byte>> sig(n_);
+  ByteSink sink;
+  for (int i = 0; i < n_; ++i) {
+    sink.clear();
+    sink.varint(s.remotes[i].state);
+    for (std::size_t v = 0; v < rvars.size(); ++v) {
+      const ir::Value val = s.remotes[i].store.get(static_cast<ir::VarId>(v));
+      switch (rvars[v].type) {
+        case ir::Type::Node:
+          sink.varint(val == static_cast<ir::Value>(i)
+                          ? static_cast<ir::Value>(n_)
+                          : val);
+          break;
+        case ir::Type::NodeSet:
+          sink.u8((val >> i) & 1u);
+          sink.varint(val & ~(ir::Value{1} << i));
+          break;
+        default:
+          sink.varint(val);
+      }
+    }
+    for (std::size_t v = 0; v < hvars.size(); ++v) {
+      const ir::Value val = s.home.store.get(static_cast<ir::VarId>(v));
+      if (hvars[v].type == ir::Type::Node)
+        sink.u8(val == static_cast<ir::Value>(i) ? 1 : 0);
+      else if (hvars[v].type == ir::Type::NodeSet)
+        sink.u8((val >> i) & 1u);
+    }
+    sig[i] = std::vector<std::byte>(sink.bytes().begin(), sink.bytes().end());
+  }
+
+  std::vector<int> order(n_);
+  for (int i = 0; i < n_; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return sig[a] != sig[b] ? sig[a] < sig[b] : a < b;
+  });
+
+  ir::NodePerm perm(n_);
+  for (int p = 0; p < n_; ++p)
+    perm[order[p]] = static_cast<std::uint8_t>(p);
+  if (!ir::is_identity(perm)) permute(s, perm);
 }
 
 }  // namespace ccref::sem

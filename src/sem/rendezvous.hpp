@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "ir/permute.hpp"
 #include "ir/process.hpp"
 #include "ir/store.hpp"
 #include "sem/label.hpp"
@@ -58,6 +59,18 @@ class RendezvousSystem {
 
   /// Human-readable dump for error traces.
   [[nodiscard]] std::string describe(const State& s) const;
+
+  /// Apply a remote-index permutation (perm[old] == new) to `s`: reorder the
+  /// remote vector and rename every Node/NodeSet value through the same
+  /// permutation. The result is observationally equivalent to `s` because
+  /// all n remotes run the same process definition.
+  void permute(State& s, const ir::NodePerm& perm) const;
+
+  /// Rewrite `s` in place to its orbit's canonical representative under
+  /// remote permutation (verify::SymmetryMode::Canonical): remotes are
+  /// sorted by an identity-independent signature and the inducing
+  /// permutation is applied via permute().
+  void canonicalize(State& s) const;
 
   [[nodiscard]] const ir::Protocol& protocol() const { return *protocol_; }
   [[nodiscard]] int num_remotes() const { return n_; }

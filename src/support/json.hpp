@@ -23,10 +23,14 @@ class JsonObject {
   JsonObject& field(const std::string& key, const char* value) {
     return field(key, std::string(value));
   }
+  JsonObject& field(const std::string& key, bool value) {
+    add(key, value ? "true" : "false");
+    return *this;
+  }
   // One template for every integer width so size_t / uint64_t (the same
   // type on LP64) don't collide as overloads.
   template <class T>
-    requires std::is_integral_v<T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
   JsonObject& field(const std::string& key, T value) {
     add(key, std::to_string(value));
     return *this;

@@ -70,14 +70,18 @@ struct BitstateResult {
 
 /// Depth-first exploration under bitstate hashing. `invariant` (optional)
 /// is checked on every visited state; a violation stops the search (any
-/// violation found is real — only omissions are possible).
+/// violation found is real — only omissions are possible). Symmetry
+/// reduction composes with the bit array exactly as with the exact sets:
+/// states are canonicalized before hashing, so the two bits per state are
+/// spent on orbits, not concrete states.
 template <class Sys>
 [[nodiscard]] BitstateResult explore_bitstate(
     const Sys& sys, std::size_t bit_memory = 8u << 20,
     std::size_t max_depth = 100000,
     const std::function<std::string(const typename Sys::State&)>& invariant =
         {},
-    std::size_t max_states = 0 /* 0 = unbounded */) {
+    std::size_t max_states = 0 /* 0 = unbounded */,
+    SymmetryMode symmetry = SymmetryMode::Off) {
   auto t0 = std::chrono::steady_clock::now();
   BitstateResult result;
   BitstateSet seen(bit_memory);
@@ -109,6 +113,7 @@ template <class Sys>
     }
     Frame frame;
     for (auto& [succ, label] : sys.successors(state)) {
+      detail::maybe_canonicalize(sys, succ, symmetry);
       ByteSink sink;
       sys.encode(succ, sink);
       frame.succs.push_back(sink.take());
@@ -119,9 +124,11 @@ template <class Sys>
 
   {
     ByteSink sink;
-    sys.encode(sys.initial(), sink);
-    auto root = sink.take();
-    (void)push(root);
+    auto root = sys.initial();
+    detail::maybe_canonicalize(sys, root, symmetry);
+    sys.encode(root, sink);
+    auto root_bytes = sink.take();
+    (void)push(root_bytes);
   }
   while (!stack.empty() && result.violation.empty()) {
     if (max_states && result.states >= max_states) {

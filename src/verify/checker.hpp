@@ -14,6 +14,7 @@
 // for the asynchronous protocols that outgrew 64 MB.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <string>
@@ -22,6 +23,7 @@
 #include "sem/label.hpp"
 #include "support/bytes.hpp"
 #include "verify/state_set.hpp"
+#include "verify/symmetry.hpp"
 
 namespace ccref::verify {
 
@@ -60,10 +62,15 @@ struct CheckOptions {
   /// Return "" when the state is fine, otherwise the violation message.
   std::function<std::string(const typename Sys::State&)> invariant;
   /// Called on every traversed edge (used by the §4 simulation-relation
-  /// checker); return "" or a violation message.
+  /// checker); return "" or a violation message. Edge checks always see the
+  /// concrete successor, before any canonicalization.
   std::function<std::string(const typename Sys::State&,
                             const typename Sys::State&, const sem::Label&)>
       edge_check;
+  /// Canonical stores one representative per remote-permutation orbit
+  /// (symmetry.hpp); state counts become orbit counts. Ignored by systems
+  /// that do not provide canonicalize() (custom test harnesses).
+  SymmetryMode symmetry = SymmetryMode::Off;
 };
 
 namespace detail {
@@ -83,6 +90,27 @@ concept HasLabelMode = requires(const Sys& sys, const typename Sys::State& s) {
   { sys.successors(s, sem::LabelMode::Quiet) };
 };
 
+/// Does the system offer orbit canonicalization? Systems without it run
+/// with SymmetryMode::Canonical as a no-op.
+template <class Sys>
+concept HasCanonicalize = requires(const Sys& sys, typename Sys::State& s) {
+  { sys.canonicalize(s) };
+};
+
+/// Canonicalize `s` in place when the mode asks for it and the system
+/// supports it; otherwise leave the concrete state untouched.
+template <class Sys>
+void maybe_canonicalize(const Sys& sys, typename Sys::State& s,
+                        SymmetryMode mode) {
+  if constexpr (HasCanonicalize<Sys>) {
+    if (mode == SymmetryMode::Canonical) sys.canonicalize(s);
+  } else {
+    (void)sys;
+    (void)s;
+    (void)mode;
+  }
+}
+
 /// Enumerate successors, skipping Label::text materialization when the
 /// system supports it and the caller doesn't need text.
 template <class Sys>
@@ -95,52 +123,75 @@ auto successors_of(const Sys& sys, const typename Sys::State& s,
   }
 }
 
-/// One step of trace replay: find the successor of `pstate` whose encoding
-/// equals `child_bytes` and append its label + description to `labels`.
-/// Compares size, then hash, then bytes — and reuses the caller's ByteSink —
-/// so replaying a chain is linear in the encoded bytes enumerated, not
+/// One step of trace replay: find the successor of `cur` whose (canonical)
+/// encoding equals `child_bytes`, append its label + description to
+/// `labels`, and advance `cur` to that *concrete* successor. Under symmetry
+/// the stored child is only an orbit representative; matching the canonical
+/// encoding while carrying the concrete successor forward re-concretizes the
+/// trace into a real path of the uncanonicalized transition relation (the
+/// orbit re-search scheme — no per-step permutations are stored). Compares
+/// size, then hash, then bytes — and reuses the caller's ByteSink — so
+/// replaying a chain is linear in the encoded bytes enumerated, not
 /// quadratic in re-allocated vectors.
 template <class Sys>
-void append_step_label(const Sys& sys, const typename Sys::State& pstate,
-                       std::span<const std::byte> child_bytes, ByteSink& sink,
+void append_step_label(const Sys& sys, typename Sys::State& cur,
+                       std::span<const std::byte> child_bytes,
+                       SymmetryMode symmetry, ByteSink& sink,
                        std::vector<std::string>& labels) {
   const std::uint64_t child_hash = hash_bytes(child_bytes);
-  for (auto& [succ, label] : sys.successors(pstate)) {
+  for (auto& [succ, label] : sys.successors(cur)) {
     sink.clear();
-    sys.encode(succ, sink);
+    if constexpr (HasCanonicalize<Sys>) {
+      if (symmetry == SymmetryMode::Canonical) {
+        auto rep = succ;
+        sys.canonicalize(rep);
+        sys.encode(rep, sink);
+      } else {
+        sys.encode(succ, sink);
+      }
+    } else {
+      sys.encode(succ, sink);
+    }
     auto enc = sink.bytes();
     if (enc.size() != child_bytes.size()) continue;
     if (hash_bytes(enc) != child_hash) continue;
     if (!std::equal(enc.begin(), enc.end(), child_bytes.begin())) continue;
     labels.push_back(label.text + "  =>  " + sys.describe(succ));
+    cur = std::move(succ);
     return;
   }
   labels.push_back("<trace reconstruction failed>");
 }
 
+/// Replay a root-first chain of stored encodings into trace labels (labels
+/// are not stored during exploration to keep the visited set lean). Shared
+/// by the sequential and sharded reconstructions.
+template <class Sys>
+std::vector<std::string> replay_chain(
+    const Sys& sys, const std::vector<std::span<const std::byte>>& chain,
+    SymmetryMode symmetry) {
+  std::vector<std::string> labels;
+  ByteSource root_src(chain.front());
+  auto cur = sys.decode(root_src);
+  labels.push_back("initial: " + sys.describe(cur));
+  ByteSink sink;
+  for (std::size_t i = 1; i < chain.size(); ++i)
+    append_step_label(sys, cur, chain[i], symmetry, sink, labels);
+  return labels;
+}
+
 /// Recompute the label sequence root -> `target` by replaying successor
-/// enumeration along the BFS parent chain (labels are not stored during
-/// exploration to keep the visited set lean).
+/// enumeration along the BFS parent chain.
 template <class Sys>
 std::vector<std::string> rebuild_trace(const Sys& sys, const StateSet& seen,
                                        const std::vector<std::uint32_t>& parent,
-                                       std::uint32_t target) {
-  std::vector<std::uint32_t> chain;
+                                       std::uint32_t target,
+                                       SymmetryMode symmetry) {
+  std::vector<std::span<const std::byte>> chain;
   for (std::uint32_t at = target; at != 0xffffffffu; at = parent[at])
-    chain.push_back(at);
-  std::vector<std::string> labels;
-  labels.push_back("initial: " +
-                   sys.describe([&] {
-                     ByteSource src(seen.at(chain.back()));
-                     return sys.decode(src);
-                   }()));
-  ByteSink sink;
-  for (std::size_t i = chain.size(); i-- > 1;) {
-    ByteSource psrc(seen.at(chain[i]));
-    auto pstate = sys.decode(psrc);
-    append_step_label(sys, pstate, seen.at(chain[i - 1]), sink, labels);
-  }
-  return labels;
+    chain.push_back(seen.at(at));
+  std::reverse(chain.begin(), chain.end());
+  return replay_chain(sys, chain, symmetry);
 }
 
 }  // namespace detail
@@ -166,7 +217,8 @@ template <class Sys>
   auto fail_at = [&](Status status, std::uint32_t index, std::string msg) {
     result.violation = std::move(msg);
     if (opts.want_trace)
-      result.trace = detail::rebuild_trace(sys, seen, parent, index);
+      result.trace =
+          detail::rebuild_trace(sys, seen, parent, index, opts.symmetry);
     return finish(status);
   };
 
@@ -178,6 +230,7 @@ template <class Sys>
 
   {
     auto root = sys.initial();
+    detail::maybe_canonicalize(sys, root, opts.symmetry);
     sys.encode(root, sink);
     auto ins = seen.insert(sink.bytes());
     CCREF_ASSERT(ins.outcome == StateSet::Outcome::Inserted);
@@ -205,6 +258,7 @@ template <class Sys>
           return fail_at(Status::InvariantViolated, cursor,
                          "edge '" + label.text + "': " + msg);
       }
+      detail::maybe_canonicalize(sys, succ, opts.symmetry);
       sink.clear();
       sys.encode(succ, sink);
       auto ins = seen.insert(sink.bytes());

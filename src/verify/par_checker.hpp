@@ -28,31 +28,23 @@ namespace ccref::verify {
 namespace detail {
 
 /// rebuild_trace over the sharded set: parents are packed Refs recorded at
-/// insertion. Same hash-first replay as the sequential reconstruction.
+/// insertion. Same concrete hash-first replay as the sequential
+/// reconstruction (replay_chain re-concretizes orbit representatives when
+/// symmetry reduction stored them).
 template <class Sys>
 std::vector<std::string> rebuild_trace_sharded(const Sys& sys,
                                                const ShardedStateSet& seen,
-                                               ShardedStateSet::Ref target) {
-  std::vector<ShardedStateSet::Ref> chain;
+                                               ShardedStateSet::Ref target,
+                                               SymmetryMode symmetry) {
+  std::vector<std::span<const std::byte>> chain;
   for (std::uint64_t at = ShardedStateSet::pack(target);
        at != ShardedStateSet::kNoParent;) {
     auto r = ShardedStateSet::unpack(at);
-    chain.push_back(r);
+    chain.push_back(seen.at(r));
     at = seen.parent_of(r);
   }
-  std::vector<std::string> labels;
-  labels.push_back("initial: " +
-                   sys.describe([&] {
-                     ByteSource src(seen.at(chain.back()));
-                     return sys.decode(src);
-                   }()));
-  ByteSink sink;
-  for (std::size_t i = chain.size(); i-- > 1;) {
-    ByteSource psrc(seen.at(chain[i]));
-    auto pstate = sys.decode(psrc);
-    append_step_label(sys, pstate, seen.at(chain[i - 1]), sink, labels);
-  }
-  return labels;
+  std::reverse(chain.begin(), chain.end());
+  return replay_chain(sys, chain, symmetry);
 }
 
 }  // namespace detail
@@ -120,6 +112,7 @@ template <class Sys>
   {
     ByteSink sink;
     auto root = sys.initial();
+    detail::maybe_canonicalize(sys, root, opts.symmetry);
     sys.encode(root, sink);
     auto ins = seen.insert(sink.bytes());
     CCREF_ASSERT(ins.outcome == StateSet::Outcome::Inserted);
@@ -184,6 +177,7 @@ template <class Sys>
             return;
           }
         }
+        detail::maybe_canonicalize(sys, succ, opts.symmetry);
         self.sink.clear();
         sys.encode(succ, self.sink);
         auto ins =
@@ -225,7 +219,8 @@ template <class Sys>
   if (failed) {
     result.violation = std::move(fail_msg);
     if (opts.want_trace && fail_status != Status::Unfinished)
-      result.trace = detail::rebuild_trace_sharded(sys, seen, fail_ref);
+      result.trace =
+          detail::rebuild_trace_sharded(sys, seen, fail_ref, opts.symmetry);
   }
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -4,7 +4,9 @@
 // This is the standard multi-core-SPIN design: a state's 64-bit hash picks
 // the shard (high bits — the shard's own open-addressing table uses the low
 // bits, so the two choices stay independent), and only that shard's mutex is
-// taken for the insert. Per-shard indices are stable in discovery order, so
+// taken for the insert. Because symmetry reduction canonicalizes before
+// hashing, all members of an orbit land in the same shard and dedupe there —
+// the reduction needs no cross-shard coordination. Per-shard indices are stable in discovery order, so
 // a state is globally identified by a (shard, index) Ref — the parallel
 // checker stores BFS parents as packed Refs and reconstructs counterexample
 // traces exactly like the sequential engine does.

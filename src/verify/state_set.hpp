@@ -11,6 +11,11 @@
 // the checker report `Unfinished` exactly like the paper does. The budget can
 // be owned (sequential checker, one set) or shared (ShardedStateSet: K shards
 // drawing on one limit).
+//
+// Symmetry reduction (symmetry.hpp) composes transparently: the checkers
+// canonicalize states *before* encoding, so under SymmetryMode::Canonical
+// this set only ever sees — and spends its budget on — one representative
+// byte string per orbit.
 #pragma once
 
 #include <cstdint>

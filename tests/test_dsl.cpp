@@ -138,7 +138,7 @@ home h {
   var cs: nodeset;
   var t: node;
   state H initial {
-    [!empty(cs)] r(pick cs as t)!probe { cs -= {t}; t := node(0) } -> H
+    [!empty(cs)] r(pick cs as t)!probe { cs -= {t}; t := none } -> H
     r(any t)?add { cs += {t} } -> H
     [size(cs) <= 1 && true] tau idle -> H
   }

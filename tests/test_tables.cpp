@@ -267,7 +267,7 @@ TEST(Table2, T2_NackReturnsToCommunicationState) {
   auto [next, label] = f.only(s, "h T2: nack from r1");
   EXPECT_FALSE(next.home.transient);
   EXPECT_EQ(next.home.state, f.hs("GRANT"));
-  EXPECT_EQ(next.home.store.get(f.p.home.find_var("o")), 0u)
+  EXPECT_EQ(next.home.store.get(f.p.home.find_var("o")), ir::kNoNode)
       << "the output action must NOT have run";
 }
 
