@@ -18,6 +18,7 @@
 #include "runtime/async_system.hpp"
 #include "sim/simulator.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
       cli.int_flag("cycles", 40, "acquire/release cycles per remote"));
   std::uint64_t seed =
       static_cast<std::uint64_t>(cli.int_flag("seed", 11, "scheduler seed"));
+  std::string json_path =
+      cli.str_flag("json", "", "dump machine-readable results to this file");
   cli.finish();
 
   auto p = protocols::make_migratory();
@@ -41,8 +44,10 @@ int main(int argc, char** argv) {
       n, cycles);
   Table table({"k", "Ops", "nacks", "nacks/op", "msgs/op", "avg latency",
                "max latency", "Jain fairness"});
+  JsonArrayFile json;
 
   std::vector<int> ks = {2, 3, 4, n / 2, n, n + 1};
+  std::sort(ks.begin(), ks.end());
   ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
   for (int k : ks) {
     refine::Options opts;
@@ -53,7 +58,18 @@ int main(int argc, char** argv) {
     sim::SimOptions sopts;
     sopts.seed = seed;
     auto stats = sim::simulate(sys, w, sopts);
+    JsonObject o;
+    o.field("bench", "buffer_fairness")
+        .field("protocol", "Migratory")
+        .field("n", n)
+        .field("k", k)
+        .field("semantics", "asynchronous")
+        .field("engine", "sim")
+        .field("jobs", 1)
+        .field("symmetry", "off")
+        .field("status", stats.finished ? "ok" : "stalled");
     if (!stats.finished) {
+      json.push(o);
       table.row({strf("%d", k), "STALLED", "-", "-", "-", "-", "-", "-"});
       continue;
     }
@@ -63,6 +79,15 @@ int main(int argc, char** argv) {
       lat_n += r.ops_completed;
       lat_max = std::max(lat_max, r.latency_max);
     }
+    o.field("ops", stats.ops_total)
+        .field("nacks", stats.nack)
+        .field("msgs_per_op", stats.msgs_per_op())
+        .field("latency_avg", lat_n ? static_cast<double>(lat_total) /
+                                          static_cast<double>(lat_n)
+                                    : 0.0)
+        .field("latency_max", lat_max)
+        .field("jain_fairness", stats.fairness_index());
+    json.push(o);
     table.row(
         {strf("%d", k),
          strf("%llu", static_cast<unsigned long long>(stats.ops_total)),
@@ -83,5 +108,6 @@ int main(int argc, char** argv) {
       "of n (here k=%d)\nmeans the home never nacks; per-remote strong "
       "fairness by refinement alone is impractical.\n",
       n + 1);
+  if (!json_path.empty() && !json.write(json_path)) return 1;
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "runtime/async_system.hpp"
 #include "sem/rendezvous.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "verify/checker.hpp"
@@ -29,11 +30,14 @@ int main(int argc, char** argv) {
   std::size_t mem = static_cast<std::size_t>(
                         cli.int_flag("mem-mb", 512, "memory limit (MB)"))
                     << 20;
+  std::string json_path =
+      cli.str_flag("json", "", "dump machine-readable results to this file");
   cli.finish();
 
   std::printf("E-SOUND: Equation-1 simulation relation, checked per edge\n\n");
   Table table({"Protocol", "Variant", "N", "Async states", "Edges checked",
                "Stutters", "Rendezvous steps", "Violations"});
+  JsonArrayFile json;
 
   auto run = [&](const char* name, const char* variant,
                  const ir::Protocol& p, const refine::Options& opts, int n) {
@@ -68,6 +72,24 @@ int main(int argc, char** argv) {
                                               : "Unfinished",
                strf("%zu", r.transitions), strf("%zu", stutters),
                strf("%zu", steps), strf("%zu", violations)});
+    JsonObject o;
+    o.field("bench", "soundness")
+        .field("protocol", name)
+        .field("variant", variant)
+        .field("n", n)
+        .field("semantics", "asynchronous")
+        .field("engine", "seq")
+        .field("jobs", 1)
+        .field("symmetry", "off")
+        .field("status", verify::to_string(r.status))
+        .field("states", r.states)
+        .field("transitions", r.transitions)
+        .field("stutters", stutters)
+        .field("rendezvous_steps", steps)
+        .field("violations", violations)
+        .field("seconds", r.seconds)
+        .field("memory_bytes", r.memory_bytes);
+    json.push(o);
   };
 
   refine::Options fused;
@@ -90,5 +112,6 @@ int main(int argc, char** argv) {
       "\nEvery asynchronous transition maps to a stutter or a rendezvous "
       "step under abs —\nthe refinement is sound (§4), so the detailed "
       "protocol needs no separate proof.\n");
+  if (!json_path.empty() && !json.write(json_path)) return 1;
   return 0;
 }

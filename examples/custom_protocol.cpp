@@ -12,6 +12,7 @@
 #include "dsl/parser.hpp"
 #include "ir/print.hpp"
 #include "ir/validate.hpp"
+#include "ltl/check.hpp"
 #include "refine/abstraction.hpp"
 #include "refine/refined.hpp"
 #include "runtime/async_system.hpp"
@@ -69,11 +70,22 @@ int main(int argc, char** argv) {
       "bitstate", false,
       "approximate supertrace search (8MB bit array; skips the simulation "
       "and progress checks)");
+  std::string ltl_text = cli.str_flag(
+      "ltl", "", "LTL property to check on the asynchronous system, "
+                 "e.g. \"G F completion\"");
+  std::string fair_arg = cli.str_flag(
+      "fairness", "weak", "fairness for --ltl: none | weak | strong");
   cli.finish();
   auto symmetry = verify::parse_symmetry(sym_arg);
   if (!symmetry) {
     std::fprintf(stderr, "bad --symmetry value '%s' (off | canonical)\n",
                  sym_arg.c_str());
+    return 2;
+  }
+  auto fairness = verify::parse_fairness(fair_arg);
+  if (!fairness) {
+    std::fprintf(stderr, "bad --fairness value '%s' (none | weak | strong)\n",
+                 fair_arg.c_str());
     return 2;
   }
 
@@ -134,6 +146,16 @@ int main(int argc, char** argv) {
                 refine::to_string(refined.cls(m)));
 
   runtime::AsyncSystem async(refined, n);
+  // Validate user-supplied LTL up front so a typo fails before the (possibly
+  // long) exploration, not after it.
+  if (!ltl_text.empty()) {
+    auto compiled = ltl::compile(async, ltl_text);
+    if (!compiled.error.empty()) {
+      std::fprintf(stderr, "bad --ltl property: %s\n",
+                   compiled.error.c_str());
+      return 2;
+    }
+  }
   verify::CheckOptions<runtime::AsyncSystem> opts;
   opts.symmetry = *symmetry;
   opts.edge_check = refine::make_simulation_checker(async, rendezvous);
@@ -152,6 +174,25 @@ int main(int argc, char** argv) {
               "rendezvous%s\n",
               prog.states - prog.doomed, prog.states,
               prog.doomed ? "  <-- LIVELOCK" : "");
+
+  if (!ltl_text.empty()) {
+    verify::LivenessOptions lopts;
+    lopts.fairness = *fairness;
+    lopts.symmetry = *symmetry;
+    auto live = ltl::check_ltl(async, ltl_text, lopts);
+    std::printf("ltl %s under %s fairness: %s, %zu product states (%.3fs)\n",
+                ltl_text.c_str(), verify::to_string(*fairness),
+                verify::to_string(live.status), live.states, live.seconds);
+    if (!live.note.empty()) std::printf("  note: %s\n", live.note.c_str());
+    if (live.status != verify::Status::Ok) {
+      std::printf("  %s\n", live.violation.c_str());
+      for (const auto& step : live.stem) std::printf("  %s\n", step.c_str());
+      for (const auto& step : live.cycle)
+        std::printf("  (cycle) %s\n", step.c_str());
+      return 1;
+    }
+  }
+
   std::printf("\nall checks passed — Equation 1 held on every transition.\n");
   return prog.doomed == 0 ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "ltl/check.hpp"
 #include "protocols/lockserver.hpp"
 #include "refine/abstraction.hpp"
 #include "refine/refined.hpp"
@@ -37,11 +38,22 @@ int main(int argc, char** argv) {
       "bitstate", false,
       "approximate supertrace verification (8MB bit array; skips the "
       "simulation and progress checks)");
+  std::string ltl_text = cli.str_flag(
+      "ltl", "", "LTL property to check on the asynchronous system, "
+                 "e.g. \"G (requested(0) -> F granted(0))\"");
+  std::string fair_arg = cli.str_flag(
+      "fairness", "weak", "fairness for --ltl: none | weak | strong");
   cli.finish();
   auto symmetry = verify::parse_symmetry(sym_arg);
   if (!symmetry) {
     std::fprintf(stderr, "bad --symmetry value '%s' (off | canonical)\n",
                  sym_arg.c_str());
+    return 2;
+  }
+  auto fairness = verify::parse_fairness(fair_arg);
+  if (!fairness) {
+    std::fprintf(stderr, "bad --fairness value '%s' (none | weak | strong)\n",
+                 fair_arg.c_str());
     return 2;
   }
 
@@ -80,6 +92,15 @@ int main(int argc, char** argv) {
                 check_n, verify::to_string(rv.status), rv.states);
 
     runtime::AsyncSystem async(refined, check_n);
+    // Validate user-supplied LTL before the exploration so a typo fails fast.
+    if (!ltl_text.empty()) {
+      auto compiled = ltl::compile(async, ltl_text);
+      if (!compiled.error.empty()) {
+        std::fprintf(stderr, "bad --ltl property: %s\n",
+                     compiled.error.c_str());
+        return 2;
+      }
+    }
     verify::CheckOptions<runtime::AsyncSystem> as_opts;
     as_opts.memory_limit = 512u << 20;
     as_opts.symmetry = *symmetry;
@@ -90,10 +111,30 @@ int main(int argc, char** argv) {
     std::printf("asynchronous + Equation 1 (%d clients): %s (%zu states)\n",
                 check_n, verify::to_string(as.status), as.states);
     auto prog = verify::check_progress(async);
-    std::printf("forward progress: %zu doomed states\n\n", prog.doomed);
+    std::printf("forward progress: %zu doomed states\n", prog.doomed);
     if (rv.status != verify::Status::Ok || as.status != verify::Status::Ok ||
         prog.doomed != 0)
       return 1;
+
+    if (!ltl_text.empty()) {
+      verify::LivenessOptions lopts;
+      lopts.fairness = *fairness;
+      lopts.symmetry = *symmetry;
+      auto live = ltl::check_ltl(async, ltl_text, lopts);
+      std::printf("ltl %s under %s fairness: %s, %zu product states\n",
+                  ltl_text.c_str(), verify::to_string(*fairness),
+                  verify::to_string(live.status), live.states);
+      if (!live.note.empty()) std::printf("  note: %s\n", live.note.c_str());
+      if (live.status != verify::Status::Ok) {
+        std::printf("  %s\n", live.violation.c_str());
+        for (const auto& step : live.stem)
+          std::printf("  %s\n", step.c_str());
+        for (const auto& step : live.cycle)
+          std::printf("  (cycle) %s\n", step.c_str());
+        return 1;
+      }
+    }
+    std::printf("\n");
   }
 
   // ---- simulate a convoy ---------------------------------------------------------

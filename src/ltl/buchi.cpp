@@ -1,0 +1,179 @@
+#include "ltl/buchi.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace ccref::ltl {
+
+namespace {
+
+using FSet = std::set<const Formula*, FormulaById>;
+
+struct Node {
+  std::uint32_t id = 0;
+  std::vector<std::uint32_t> incoming;
+  FSet neu;  // obligations not yet processed ("New" in GPVW)
+  FSet old;  // processed obligations; literals here label the state
+  FSet next; // obligations deferred to the successor
+};
+
+struct Translator {
+  // Finalized tableau nodes; ids are 1..done.size() in push order (0 is the
+  // initial pseudo-state), so done[id - 1] has that id.
+  std::vector<Node> done;
+  std::uint32_t next_id = 1;
+
+  static bool is_literal(const Formula* f) {
+    return f->op == Op::AtomRef || f->op == Op::Not;
+  }
+
+  static bool contradicts(const FSet& old, const Formula* lit) {
+    if (lit->op == Op::Not) return old.count(lit->lhs) > 0;
+    for (const Formula* g : old)
+      if (g->op == Op::Not && g->lhs == lit) return true;
+    return false;
+  }
+
+  static void add_new(Node& n, const Formula* g) {
+    if (!n.old.count(g)) n.neu.insert(g);
+  }
+
+  void expand(Node q) {
+    if (q.neu.empty()) {
+      for (auto& r : done) {
+        if (r.old == q.old && r.next == q.next) {
+          r.incoming.insert(r.incoming.end(), q.incoming.begin(),
+                            q.incoming.end());
+          return;
+        }
+      }
+      q.id = next_id++;
+      Node succ;
+      succ.incoming = {q.id};
+      succ.neu = q.next;
+      done.push_back(std::move(q));
+      expand(std::move(succ));
+      return;
+    }
+    const Formula* f = *q.neu.begin();
+    q.neu.erase(q.neu.begin());
+    switch (f->op) {
+      case Op::False:
+        return;  // inconsistent node: discard
+      case Op::True:
+        expand(std::move(q));
+        return;
+      case Op::AtomRef:
+      case Op::Not:
+        if (contradicts(q.old, f)) return;
+        q.old.insert(f);
+        expand(std::move(q));
+        return;
+      case Op::And:
+        add_new(q, f->lhs);
+        add_new(q, f->rhs);
+        q.old.insert(f);
+        expand(std::move(q));
+        return;
+      case Op::Or: {
+        Node q2 = q;
+        add_new(q, f->lhs);
+        q.old.insert(f);
+        expand(std::move(q));
+        add_new(q2, f->rhs);
+        q2.old.insert(f);
+        expand(std::move(q2));
+        return;
+      }
+      case Op::Next:
+        q.old.insert(f);
+        q.next.insert(f->lhs);
+        expand(std::move(q));
+        return;
+      case Op::Until: {
+        // a U b  =  b ∨ (a ∧ X(a U b))
+        Node q2 = q;
+        add_new(q, f->lhs);
+        q.next.insert(f);
+        q.old.insert(f);
+        expand(std::move(q));
+        add_new(q2, f->rhs);
+        q2.old.insert(f);
+        expand(std::move(q2));
+        return;
+      }
+      case Op::Release: {
+        // a R b  =  (a ∧ b) ∨ (b ∧ X(a R b))
+        Node q2 = q;
+        add_new(q, f->lhs);
+        add_new(q, f->rhs);
+        q.old.insert(f);
+        expand(std::move(q));
+        add_new(q2, f->rhs);
+        q2.next.insert(f);
+        q2.old.insert(f);
+        expand(std::move(q2));
+        return;
+      }
+    }
+  }
+};
+
+void collect_untils(const Formula* f, std::vector<const Formula*>& out) {
+  if (!f) return;
+  collect_untils(f->lhs, out);
+  collect_untils(f->rhs, out);
+  if (f->op == Op::Until &&
+      std::find(out.begin(), out.end(), f) == out.end())
+    out.push_back(f);
+}
+
+}  // namespace
+
+Buchi translate(const Formula* nnf, std::size_t num_atoms) {
+  CCREF_REQUIRE(num_atoms <= 64);
+  Translator tr;
+  {
+    Node start;
+    start.incoming = {0};
+    start.neu.insert(nnf);
+    tr.expand(std::move(start));
+  }
+
+  std::vector<const Formula*> untils;
+  collect_untils(nnf, untils);
+  CCREF_REQUIRE(untils.size() <= 32);
+
+  Buchi aut;
+  aut.num_atoms = static_cast<std::uint32_t>(num_atoms);
+  aut.num_acc = static_cast<std::uint32_t>(untils.size());
+  const std::size_t n = tr.done.size() + 1;
+  aut.pos.assign(n, 0);
+  aut.neg.assign(n, 0);
+  aut.acc.assign(n, aut.all_acc_mask());  // index 0: initial, never on cycles
+  aut.succ.assign(n, {});
+
+  for (const Node& node : tr.done) {
+    std::uint32_t q = node.id;
+    std::uint32_t acc = 0;
+    for (std::size_t k = 0; k < untils.size(); ++k)
+      if (!node.old.count(untils[k]) || node.old.count(untils[k]->rhs))
+        acc |= 1u << k;
+    aut.acc[q] = acc;
+    for (const Formula* g : node.old) {
+      if (g->op == Op::AtomRef)
+        aut.pos[q] |= 1ull << g->atom;
+      else if (g->op == Op::Not)
+        aut.neg[q] |= 1ull << g->lhs->atom;
+    }
+    for (std::uint32_t from : node.incoming) aut.succ[from].push_back(q);
+  }
+  for (auto& edges : aut.succ) {
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+  return aut;
+}
+
+}  // namespace ccref::ltl

@@ -1,0 +1,52 @@
+// LTL -> generalized Büchi automaton, via the on-the-fly tableau of
+// Gerth-Peled-Vardi-Wolper (GPVW, PSTV'95) — the construction inside the
+// paper's own tool, SPIN.
+//
+// The liveness checker negates the property, translates ¬φ here, and hunts
+// for a fair accepting lasso in the product (verify/liveness.hpp). The
+// automaton stays *generalized* (one acceptance set per Until subformula):
+// the SCC-based emptiness check handles multiple sets natively, and the
+// weak-fairness constraints are folded in as further "sets" at product
+// level, so degeneralizing would only blow up the state count.
+//
+// Automaton shape: state-labeled over AP valuations. State 0 is a pseudo
+// initial state with no obligations; a run s0 a1 s1 a2 s2 ... is accepted
+// iff every step i>=1 satisfies pos/neg literal masks of state s_i on
+// letter a_i and each acceptance set is visited infinitely often. Letters
+// are bitmask valuations of at most 64 atoms — plenty for the G F / F G /
+// G(p -> F q) fragment the paper's properties need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ltl/formula.hpp"
+
+namespace ccref::ltl {
+
+struct Buchi {
+  std::uint32_t num_atoms = 0;
+  std::uint32_t num_acc = 0;  // generalized acceptance sets (<= 32)
+
+  // Per automaton state (index 0 = initial pseudo-state):
+  std::vector<std::uint64_t> pos;  // atoms that must hold on the letter
+  std::vector<std::uint64_t> neg;  // atoms that must not hold
+  std::vector<std::uint32_t> acc;  // acceptance-set membership bitmask
+  std::vector<std::vector<std::uint32_t>> succ;  // forward edges
+
+  [[nodiscard]] std::size_t size() const { return pos.size(); }
+  [[nodiscard]] std::uint32_t all_acc_mask() const {
+    return num_acc == 32 ? 0xffffffffu : (1u << num_acc) - 1u;
+  }
+  /// Does the letter `valuation` satisfy state q's literal obligations?
+  [[nodiscard]] bool admits(std::uint32_t q, std::uint64_t valuation) const {
+    return (valuation & pos[q]) == pos[q] && (valuation & neg[q]) == 0;
+  }
+};
+
+/// Translate an NNF formula (negation only over atoms; True/False/And/Or/
+/// X/U/R otherwise) into a generalized Büchi automaton. `num_atoms` is the
+/// size of the parse's atom table (must be <= 64).
+[[nodiscard]] Buchi translate(const Formula* nnf, std::size_t num_atoms);
+
+}  // namespace ccref::ltl

@@ -1,0 +1,70 @@
+#include "ltl/formula.hpp"
+
+namespace ccref::ltl {
+
+namespace {
+
+void render(const Formula* f, const std::vector<Atom>& atoms,
+            std::string& out) {
+  auto paren = [&](const Formula* g) {
+    bool simple = g->op == Op::True || g->op == Op::False ||
+                  g->op == Op::AtomRef || g->op == Op::Not;
+    if (!simple) out += '(';
+    render(g, atoms, out);
+    if (!simple) out += ')';
+  };
+  switch (f->op) {
+    case Op::True: out += "true"; return;
+    case Op::False: out += "false"; return;
+    case Op::AtomRef: out += atoms[f->atom].spelling; return;
+    case Op::Not:
+      out += '!';
+      paren(f->lhs);
+      return;
+    case Op::And:
+      paren(f->lhs);
+      out += " && ";
+      paren(f->rhs);
+      return;
+    case Op::Or:
+      paren(f->lhs);
+      out += " || ";
+      paren(f->rhs);
+      return;
+    case Op::Next:
+      out += "X ";
+      paren(f->lhs);
+      return;
+    case Op::Until:
+      if (f->lhs->op == Op::True) {  // F sugar
+        out += "F ";
+        paren(f->rhs);
+        return;
+      }
+      paren(f->lhs);
+      out += " U ";
+      paren(f->rhs);
+      return;
+    case Op::Release:
+      if (f->lhs->op == Op::False) {  // G sugar
+        out += "G ";
+        paren(f->rhs);
+        return;
+      }
+      paren(f->lhs);
+      out += " R ";
+      paren(f->rhs);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string FormulaFactory::to_string(const Formula* f,
+                                      const std::vector<Atom>& atoms) const {
+  std::string out;
+  render(f, atoms, out);
+  return out;
+}
+
+}  // namespace ccref::ltl

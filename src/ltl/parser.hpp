@@ -1,0 +1,40 @@
+// Recursive-descent parser for the LTL surface syntax.
+//
+// Grammar (precedence loosest to tightest; U/R are right-associative, as is
+// ->):
+//
+//   formula := or_expr ( '->' formula )?
+//   or_expr := and_expr ( '||' and_expr )*
+//   and_expr := until_expr ( '&&' until_expr )*
+//   until_expr := unary ( ('U' | 'R') until_expr )?
+//   unary := ('!' | 'X' | 'F' | 'G') unary | primary
+//   primary := 'true' | 'false' | '(' formula ')' | atom
+//   atom := ident ( '(' arg (',' arg)* ')' )?     arg := ident | integer
+//
+// `U R X F G` are reserved operator names; atoms are any other identifier,
+// optionally applied to arguments (`granted(1)`, `home(GRANT)`,
+// `remote(0,V)`). Arguments are kept as raw strings — control-state names
+// like `F` are fine inside parentheses — and resolved against a concrete
+// system by ap.hpp.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ltl/formula.hpp"
+
+namespace ccref::ltl {
+
+struct ParseResult {
+  const Formula* formula = nullptr;  // null iff !error.empty()
+  std::vector<Atom> atoms;           // AtomRef indices point here
+  std::string error;                 // "" on success
+};
+
+/// Parse `text` into `factory`-owned nodes. The result is surface syntax
+/// (Not/F/G still present as written); feed through FormulaFactory::to_nnf
+/// before the Büchi translation.
+[[nodiscard]] ParseResult parse(std::string_view text, FormulaFactory& factory);
+
+}  // namespace ccref::ltl

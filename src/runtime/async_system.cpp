@@ -47,10 +47,27 @@ AsyncState AsyncSystem::initial() const {
 std::vector<std::pair<AsyncState, Label>> AsyncSystem::successors(
     const AsyncState& s, LabelMode mode) const {
   Out out;
+  // The LTL layer's weak-fairness constraints partition transitions by
+  // Label::actor, so deliveries need an owner. Both directions are charged
+  // to the *remote* of the channel: down-deliveries because the remote is
+  // the receiver, up-deliveries because weak fairness on them is how we
+  // encode reliable delivery of remote i's traffic — if they belonged to the
+  // home, a "fair" run could leave remote i's request in the channel forever
+  // and §6's per-node starvation would hold at every buffer size.
   for (int i = 0; i < n_; ++i)
-    if (!s.up[i].empty()) deliver_to_home(s, i, mode, out);
+    if (!s.up[i].empty()) {
+      std::size_t first = out.size();
+      deliver_to_home(s, i, mode, out);
+      for (std::size_t e = first; e < out.size(); ++e)
+        out[e].second.actor = i;
+    }
   for (int i = 0; i < n_; ++i)
-    if (!s.down[i].empty()) deliver_to_remote(s, i, mode, out);
+    if (!s.down[i].empty()) {
+      std::size_t first = out.size();
+      deliver_to_remote(s, i, mode, out);
+      for (std::size_t e = first; e < out.size(); ++e)
+        out[e].second.actor = i;
+    }
   home_local(s, mode, out);
   for (int i = 0; i < n_; ++i) remote_local(s, i, mode, out);
   return out;
@@ -422,9 +439,11 @@ void AsyncSystem::home_local(const AsyncState& s, LabelMode mode,
         next.down[taken.src].push(std::move(ack));
         l.sent_ack = 1;
         l.completes_rendezvous = true;
+        l.granted_to = taken.src;
       } else if (cls == MsgClass::FusedRequest) {
         // §3.3: no ack — the later reply acts as the ack.
         l.completes_rendezvous = true;
+        l.granted_to = taken.src;
       } else {
         // ElideAck: the sender already committed at send time.
         CCREF_ASSERT(cls == MsgClass::ElideAck);
@@ -480,6 +499,7 @@ void AsyncSystem::home_local(const AsyncState& s, LabelMode mode,
                       protocol().message(og.msg).name.c_str(), ri);
         l.sent_repl = 1;
         l.completes_rendezvous = true;
+        l.granted_to = kHome;
         l.actor = kHome;
         l.decision = protocol().message(og.msg).name;
         out.emplace_back(std::move(next), std::move(l));
@@ -588,6 +608,7 @@ void AsyncSystem::remote_local(const AsyncState& s, int i, LabelMode mode,
                     deleted ? ", dropped buffered request" : "");
       l.sent_req = 1;
       l.completes_rendezvous = true;
+      l.granted_to = i;
     } else {
       Msg req;
       req.meta = Meta::Req;
@@ -640,6 +661,7 @@ void AsyncSystem::remote_local(const AsyncState& s, int i, LabelMode mode,
                     protocol().message(repl.msg).name.c_str());
       l.sent_repl = 1;
       l.completes_rendezvous = true;
+      l.granted_to = kHome;
     } else {
       Msg ack;
       ack.meta = Meta::Ack;
@@ -651,6 +673,7 @@ void AsyncSystem::remote_local(const AsyncState& s, int i, LabelMode mode,
                     protocol().message(taken.msg).name.c_str());
       l.sent_ack = 1;
       l.completes_rendezvous = true;
+      l.granted_to = kHome;
     }
     out.emplace_back(std::move(next), std::move(l));
   }

@@ -43,6 +43,12 @@ struct Label {
   /// Acting process: -1 home, >= 0 remote id, -2 not applicable.
   int actor = -2;
 
+  /// For completing steps only: whose outstanding rendezvous this step
+  /// grants. >= 0 names the remote whose request completed (the `granted(i)`
+  /// atomic proposition of the LTL layer, §6 per-node starvation); -1 means
+  /// the home's own rendezvous completed; -2 not a grant.
+  int granted_to = -2;
+
   /// Non-empty for τ decisions and remote active initiations; carries the
   /// τ's label (e.g. "evict") or the sent message name (e.g. "req"). The
   /// simulator matches this against pending workload events.

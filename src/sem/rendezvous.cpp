@@ -174,6 +174,9 @@ void RendezvousSystem::fire(const RvState& s, const OutputGuard& og,
   }
   label.completes_rendezvous = true;
   label.actor = active;
+  // The active party's rendezvous is the one being granted: a remote-active
+  // sync grants that remote's request, a home-active sync the home's.
+  label.granted_to = active;
   label.decision = protocol_->message(og.msg).name;
   out.emplace_back(std::move(next), std::move(label));
 }

@@ -35,6 +35,12 @@ class ByteSink {
     u32(static_cast<std::uint32_t>(v >> 32));
   }
 
+  /// Append a pre-encoded byte run (e.g. composing a prefixed encoding from
+  /// an already-encoded state).
+  void raw(std::span<const std::byte> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
   /// LEB128-style variable-length encoding; most state fields are tiny.
   void varint(std::uint64_t v) {
     while (v >= 0x80) {

@@ -32,6 +32,7 @@ enum class Status : std::uint8_t {
   Unfinished,         // memory budget exhausted (paper: "Unfinished")
   InvariantViolated,  // a reachable state failed an invariant
   Deadlock,           // a reachable state has no successors
+  LivenessViolated,   // a fair accepting lasso exists (liveness.hpp)
 };
 
 [[nodiscard]] constexpr const char* to_string(Status s) {
@@ -40,6 +41,7 @@ enum class Status : std::uint8_t {
     case Status::Unfinished: return "Unfinished";
     case Status::InvariantViolated: return "invariant-violated";
     case Status::Deadlock: return "deadlock";
+    case Status::LivenessViolated: return "liveness-violated";
   }
   return "?";
 }
@@ -194,6 +196,58 @@ std::vector<std::string> rebuild_trace(const Sys& sys, const StateSet& seen,
   return replay_chain(sys, chain, symmetry);
 }
 
+/// How a bfs_reach() run ended.
+enum class BfsOutcome : std::uint8_t {
+  Complete,   // every reachable state expanded
+  Exhausted,  // the visited set's memory budget refused an insert
+  Stopped,    // a callback returned false (violation found, etc.)
+};
+
+/// Breadth-first reachability skeleton shared by explore() and
+/// check_progress(): root insertion, cursor-queue decode, and the
+/// canonicalize/encode/insert path for every successor live here exactly
+/// once. Policy hangs off three callbacks, each returning false to stop:
+///
+///   on_expand(index, state, succs)            before a state's edges
+///   on_edge(from, state, succ, label)         per edge, on the *concrete*
+///                                             successor (pre-canonicalize;
+///                                             edge checks need this)
+///   on_insert(from, insert_result, succ, label)
+///                                             after the insert attempt;
+///                                             succ is canonicalized here
+template <class Sys, class OnExpand, class OnEdge, class OnInsert>
+BfsOutcome bfs_reach(const Sys& sys, StateSet& seen, SymmetryMode symmetry,
+                     sem::LabelMode mode, OnExpand&& on_expand,
+                     OnEdge&& on_edge, OnInsert&& on_insert) {
+  ByteSink sink;  // reused across every encode below
+  {
+    auto root = sys.initial();
+    maybe_canonicalize(sys, root, symmetry);
+    sys.encode(root, sink);
+    auto ins = seen.insert(sink.bytes());
+    if (ins.outcome == StateSet::Outcome::Exhausted)
+      return BfsOutcome::Exhausted;
+    CCREF_ASSERT(ins.outcome == StateSet::Outcome::Inserted);
+  }
+  for (std::uint32_t cursor = 0; cursor < seen.size(); ++cursor) {
+    ByteSource src(seen.at(cursor));
+    auto state = sys.decode(src);
+    auto succs = successors_of(sys, state, mode);
+    if (!on_expand(cursor, state, succs)) return BfsOutcome::Stopped;
+    for (auto& [succ, label] : succs) {
+      if (!on_edge(cursor, state, succ, label)) return BfsOutcome::Stopped;
+      maybe_canonicalize(sys, succ, symmetry);
+      sink.clear();
+      sys.encode(succ, sink);
+      auto ins = seen.insert(sink.bytes());
+      if (ins.outcome == StateSet::Outcome::Exhausted)
+        return BfsOutcome::Exhausted;
+      if (!on_insert(cursor, ins, succ, label)) return BfsOutcome::Stopped;
+    }
+  }
+  return BfsOutcome::Complete;
+}
+
 }  // namespace detail
 
 template <class Sys>
@@ -226,59 +280,61 @@ template <class Sys>
   // traces are rebuilt (with full labels) only after a violation.
   const sem::LabelMode mode =
       opts.edge_check ? sem::LabelMode::Full : sem::LabelMode::Quiet;
-  ByteSink sink;  // reused across every encode below
 
-  {
-    auto root = sys.initial();
-    detail::maybe_canonicalize(sys, root, opts.symmetry);
-    sys.encode(root, sink);
-    auto ins = seen.insert(sink.bytes());
-    CCREF_ASSERT(ins.outcome == StateSet::Outcome::Inserted);
-    parent.push_back(0xffffffffu);
-    if (opts.invariant) {
-      std::string msg = opts.invariant(root);
-      if (!msg.empty())
-        return fail_at(Status::InvariantViolated, 0, std::move(msg));
-    }
-  }
+  // Violation details are captured here by the callbacks; the matching
+  // fail_at() runs once bfs_reach returns Stopped.
+  Status stop_status = Status::Ok;
+  std::uint32_t stop_index = 0;
+  std::string stop_msg;
+  auto stop = [&](Status status, std::uint32_t index, std::string msg) {
+    stop_status = status;
+    stop_index = index;
+    stop_msg = std::move(msg);
+    return false;
+  };
+  parent.push_back(0xffffffffu);  // the root bfs_reach is about to insert
 
-  for (std::uint32_t cursor = 0; cursor < seen.size(); ++cursor) {
-    ByteSource src(seen.at(cursor));
-    auto state = sys.decode(src);
-    auto succs = detail::successors_of(sys, state, mode);
-    if (succs.empty() && opts.detect_deadlock)
-      return fail_at(Status::Deadlock, cursor,
-                     "deadlock: no enabled transition in " +
-                         sys.describe(state));
-    for (auto& [succ, label] : succs) {
-      ++result.transitions;
-      if (opts.edge_check) {
-        std::string msg = opts.edge_check(state, succ, label);
-        if (!msg.empty())
-          return fail_at(Status::InvariantViolated, cursor,
-                         "edge '" + label.text + "': " + msg);
-      }
-      detail::maybe_canonicalize(sys, succ, opts.symmetry);
-      sink.clear();
-      sys.encode(succ, sink);
-      auto ins = seen.insert(sink.bytes());
-      switch (ins.outcome) {
-        case StateSet::Outcome::Exhausted:
-          return finish(Status::Unfinished);
-        case StateSet::Outcome::AlreadyPresent:
-          break;
-        case StateSet::Outcome::Inserted: {
-          parent.push_back(cursor);
-          if (opts.invariant) {
-            std::string msg = opts.invariant(succ);
-            if (!msg.empty())
-              return fail_at(Status::InvariantViolated, ins.index,
-                             std::move(msg));
-          }
-          break;
+  auto outcome = detail::bfs_reach(
+      sys, seen, opts.symmetry, mode,
+      [&](std::uint32_t index, const auto& state, const auto& succs) {
+        if (index == 0 && opts.invariant) {
+          std::string msg = opts.invariant(state);
+          if (!msg.empty()) return stop(Status::InvariantViolated, 0, msg);
         }
-      }
-    }
+        if (succs.empty() && opts.detect_deadlock)
+          return stop(Status::Deadlock, index,
+                      "deadlock: no enabled transition in " +
+                          sys.describe(state));
+        return true;
+      },
+      [&](std::uint32_t from, const auto& state, const auto& succ,
+          const sem::Label& label) {
+        ++result.transitions;
+        if (opts.edge_check) {
+          std::string msg = opts.edge_check(state, succ, label);
+          if (!msg.empty())
+            return stop(Status::InvariantViolated, from,
+                        "edge '" + label.text + "': " + msg);
+        }
+        return true;
+      },
+      [&](std::uint32_t from, const StateSet::InsertResult& ins,
+          const auto& succ, const sem::Label&) {
+        if (ins.outcome != StateSet::Outcome::Inserted) return true;
+        parent.push_back(from);
+        if (opts.invariant) {
+          std::string msg = opts.invariant(succ);
+          if (!msg.empty())
+            return stop(Status::InvariantViolated, ins.index, msg);
+        }
+        return true;
+      });
+
+  switch (outcome) {
+    case detail::BfsOutcome::Exhausted: return finish(Status::Unfinished);
+    case detail::BfsOutcome::Stopped:
+      return fail_at(stop_status, stop_index, std::move(stop_msg));
+    case detail::BfsOutcome::Complete: break;
   }
   return finish(Status::Ok);
 }
