@@ -19,6 +19,7 @@
 #include "refine/refined.hpp"
 #include "runtime/async_system.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "verify/progress.hpp"
@@ -28,17 +29,29 @@ using namespace ccref;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   std::size_t mem = static_cast<std::size_t>(
-                        cli.int_flag("mem-mb", 1024, "memory limit (MB)"))
+                        cli.uint_flag("mem-mb", 1024, 1, 1u << 20,
+                                      "memory limit (MB)"))
                     << 20;
   bool full = cli.bool_flag(
       "full", true, "include the invalidate N=4 rows (~1.2M states each)");
+  std::string por_arg = cli.str_flag(
+      "por", "off", "partial-order reduction: off | ample");
+  std::string json_path =
+      cli.str_flag("json", "", "dump machine-readable results to this file");
   cli.finish();
+  auto por = verify::parse_por(por_arg);
+  if (!por) {
+    std::fprintf(stderr, "bad --por value '%s' (off | ample)\n",
+                 por_arg.c_str());
+    return 2;
+  }
 
   std::printf(
       "A-ABL: buffer-reservation ablations — doomed states = reachable "
       "livelock\n\n");
   Table table({"Protocol", "N", "progress buf", "ack buf", "fusion",
                "States", "Doomed states", "Verdict"});
+  JsonArrayFile json;
 
   auto run = [&](const char* name, const ir::Protocol& p, int n,
                  bool progress, bool ack, bool fusion) {
@@ -47,7 +60,10 @@ int main(int argc, char** argv) {
     opts.ack_buffer = ack;
     opts.request_reply_fusion = fusion;
     auto rp = refine::refine(p, opts);
-    auto r = verify::check_progress(runtime::AsyncSystem(rp, n), mem);
+    verify::ProgressOptions popts;
+    popts.memory_limit = mem;
+    popts.por = *por;
+    auto r = verify::check_progress(runtime::AsyncSystem(rp, n), popts);
     std::string verdict =
         r.status != verify::Status::Ok ? "Unfinished"
         : r.doomed == 0                ? "live"
@@ -55,6 +71,23 @@ int main(int argc, char** argv) {
     table.row({name, strf("%d", n), progress ? "on" : "off",
                ack ? "on" : "off", fusion ? "on" : "off",
                strf("%zu", r.states), strf("%zu", r.doomed), verdict});
+    JsonObject o;
+    o.field("bench", "ablation")
+        .field("protocol", name)
+        .field("n", n)
+        .field("semantics", "asynchronous")
+        .field("engine", "seq")
+        .field("jobs", 1)
+        .field("symmetry", "off")
+        .field("por", verify::to_string(*por))
+        .field("progress_buffer", progress)
+        .field("ack_buffer", ack)
+        .field("fusion", fusion)
+        .field("status", verify::to_string(r.status))
+        .field("states", r.states)
+        .field("doomed", r.doomed)
+        .field("verdict", verdict);
+    json.push(o);
   };
 
   auto mig = protocols::make_migratory();
@@ -77,5 +110,6 @@ int main(int argc, char** argv) {
       "\npaper (§3.2): without the progress-buffer reservation 'a livelock "
       "can result'; with both\nreservations the refined protocol guarantees "
       "forward progress for at least one remote (§2.5).\n");
+  if (!json_path.empty() && !json.write(json_path)) return 1;
   return 0;
 }

@@ -26,11 +26,11 @@ using namespace ccref;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  int n = static_cast<int>(cli.int_flag("remotes", 8, "contending remotes"));
-  int cycles = static_cast<int>(
-      cli.int_flag("cycles", 40, "acquire/release cycles per remote"));
-  std::uint64_t seed =
-      static_cast<std::uint64_t>(cli.int_flag("seed", 11, "scheduler seed"));
+  int n = static_cast<int>(
+      cli.uint_flag("remotes", 8, 1, 64, "contending remotes"));
+  int cycles = static_cast<int>(cli.uint_flag(
+      "cycles", 40, 1, 1u << 20, "acquire/release cycles per remote"));
+  std::uint64_t seed = cli.uint_flag("seed", 11, 0, ~0ull, "scheduler seed");
   std::string json_path =
       cli.str_flag("json", "", "dump machine-readable results to this file");
   cli.finish();
@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
         .field("engine", "sim")
         .field("jobs", 1)
         .field("symmetry", "off")
+        .field("por", "off")
         .field("status", stats.finished ? "ok" : "stalled");
     if (!stats.finished) {
       json.push(o);

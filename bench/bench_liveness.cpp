@@ -51,6 +51,7 @@ std::string cell(const verify::LivenessResult& r) {
 struct Runner {
   std::size_t mem;
   verify::SymmetryMode symmetry;
+  verify::PorMode por;
   bool traces;
   Table table{{"Protocol", "N", "k", "Semantics", "Property", "Fairness",
                "Result (states/s)"}};
@@ -64,6 +65,7 @@ struct Runner {
     opts.memory_limit = mem;
     opts.symmetry = symmetry;
     opts.fairness = fairness;
+    opts.por = por;
     auto r = ltl::check_ltl(sys, property, opts);
 
     JsonObject o;
@@ -75,6 +77,7 @@ struct Runner {
         .field("engine", "seq")
         .field("jobs", 1)
         .field("symmetry", verify::to_string(opts.symmetry))
+        .field("por", verify::to_string(opts.por))
         .field("property", property)
         .field("fairness", verify::to_string(fairness))
         .field("status", verify::to_string(r.status))
@@ -82,6 +85,7 @@ struct Runner {
         .field("transitions", r.transitions)
         .field("seconds", r.seconds)
         .field("memory_bytes", r.memory_bytes);
+    if (!r.note.empty()) o.field("note", r.note);
     json.push(o);
     table.row({protocol, strf("%d", n), k ? strf("%d", k) : "-", semantics,
                property, verify::to_string(fairness), cell(r)});
@@ -99,8 +103,8 @@ struct Runner {
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   std::size_t mem =
-      static_cast<std::size_t>(cli.int_flag("mem-mb", 64,
-                                            "memory limit per run (MB)"))
+      static_cast<std::size_t>(cli.uint_flag("mem-mb", 64, 1, 1u << 20,
+                                             "memory limit per run (MB)"))
       << 20;
   bool smoke = cli.bool_flag("smoke", false,
                              "small configurations only (CI-sized)");
@@ -108,6 +112,9 @@ int main(int argc, char** argv) {
       cli.bool_flag("traces", false, "print counterexample lassos");
   std::string sym_arg = cli.str_flag(
       "symmetry", "off", "symmetry reduction: off | canonical");
+  std::string por_arg = cli.str_flag(
+      "por", "off", "partial-order reduction: off | ample "
+      "(downgraded under fairness)");
   std::string json_path =
       cli.str_flag("json", "", "dump machine-readable results to this file");
   cli.finish();
@@ -117,12 +124,18 @@ int main(int argc, char** argv) {
                  sym_arg.c_str());
     return 2;
   }
+  auto por = verify::parse_por(por_arg);
+  if (!por) {
+    std::fprintf(stderr, "bad --por value '%s' (off | ample)\n",
+                 por_arg.c_str());
+    return 2;
+  }
 
   std::printf("LIVE: LTL liveness over the Büchi product "
               "(%zu MB cap%s)\n\n",
               mem >> 20, smoke ? ", smoke" : "");
 
-  Runner runner{mem, *symmetry, traces};
+  Runner runner{mem, *symmetry, *por, traces};
 
   auto sweep = [&](const char* name, const ir::Protocol& p) {
     // §2.5 weak progress at the paper's minimal buffer.

@@ -26,17 +26,19 @@ using namespace ccref;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   std::size_t rv_mem = static_cast<std::size_t>(
-                           cli.int_flag("rendezvous-mb", 32,
-                                        "rendezvous memory limit (MB)"))
+                           cli.uint_flag("rendezvous-mb", 32, 1, 1u << 20,
+                                         "rendezvous memory limit (MB)"))
                        << 20;
   std::size_t as_mem = static_cast<std::size_t>(
-                           cli.int_flag("async-mb", 64,
-                                        "asynchronous memory limit (MB)"))
+                           cli.uint_flag("async-mb", 64, 1, 1u << 20,
+                                         "asynchronous memory limit (MB)"))
                        << 20;
-  auto jobs = static_cast<unsigned>(
-      cli.int_flag("jobs", 1, "worker threads (1 = sequential engine)"));
+  auto jobs = static_cast<unsigned>(cli.uint_flag(
+      "jobs", 1, 1, 1024, "worker threads (1 = sequential engine)"));
   std::string sym_arg = cli.str_flag(
       "symmetry", "off", "symmetry reduction: off | canonical");
+  std::string por_arg = cli.str_flag(
+      "por", "off", "partial-order reduction: off | ample");
   std::string json_path =
       cli.str_flag("json", "", "dump machine-readable results to this file");
   cli.finish();
@@ -44,6 +46,12 @@ int main(int argc, char** argv) {
   if (!symmetry) {
     std::fprintf(stderr, "bad --symmetry value '%s' (off | canonical)\n",
                  sym_arg.c_str());
+    return 2;
+  }
+  auto por = verify::parse_por(por_arg);
+  if (!por) {
+    std::fprintf(stderr, "bad --por value '%s' (off | ample)\n",
+                 por_arg.c_str());
     return 2;
   }
 
@@ -63,6 +71,7 @@ int main(int argc, char** argv) {
         .field("engine", jobs <= 1 ? "seq" : "par")
         .field("jobs", static_cast<int>(jobs))
         .field("symmetry", verify::to_string(*symmetry))
+        .field("por", verify::to_string(*por))
         .field("bitstate", bitstate);
     return o;
   };
@@ -92,6 +101,7 @@ int main(int argc, char** argv) {
     opts.memory_limit = rv_mem;
     opts.want_trace = false;
     opts.symmetry = *symmetry;
+    opts.por = *por;
     sem::RendezvousSystem sys(p, n);
     auto r = jobs <= 1 ? verify::explore(sys, opts)
                        : verify::par_explore(sys, opts, jobs);
@@ -107,6 +117,7 @@ int main(int argc, char** argv) {
     opts.memory_limit = as_mem;
     opts.want_trace = false;
     opts.symmetry = *symmetry;
+    opts.por = *por;
     runtime::AsyncSystem sys(rp, n);
     auto r = jobs <= 1 ? verify::explore(sys, opts)
                        : verify::par_explore(sys, opts, jobs);

@@ -48,11 +48,12 @@ std::string cell(const verify::CheckResult& r) {
 
 template <class Sys>
 verify::CheckResult run(const Sys& sys, std::size_t mem, unsigned jobs,
-                        verify::SymmetryMode symmetry) {
+                        verify::SymmetryMode symmetry, verify::PorMode por) {
   verify::CheckOptions<Sys> opts;
   opts.memory_limit = mem;
   opts.want_trace = false;
   opts.symmetry = symmetry;
+  opts.por = por;
   return jobs <= 1 ? verify::explore(sys, opts)
                    : verify::par_explore(sys, opts, jobs);
 }
@@ -78,15 +79,17 @@ verify::CheckResult run_bitstate(const Sys& sys, std::size_t mem,
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   std::size_t mem =
-      static_cast<std::size_t>(cli.int_flag("mem-mb", 64,
-                                            "memory limit per run (MB)"))
+      static_cast<std::size_t>(cli.uint_flag("mem-mb", 64, 1, 1u << 20,
+                                             "memory limit per run (MB)"))
       << 20;
   bool extend = cli.bool_flag("extended", true,
                               "also run N beyond the paper's table");
-  auto jobs = static_cast<unsigned>(
-      cli.int_flag("jobs", 1, "worker threads (1 = sequential engine)"));
+  auto jobs = static_cast<unsigned>(cli.uint_flag(
+      "jobs", 1, 1, 1024, "worker threads (1 = sequential engine)"));
   std::string sym_arg = cli.str_flag(
       "symmetry", "off", "symmetry reduction: off | canonical");
+  std::string por_arg = cli.str_flag(
+      "por", "off", "partial-order reduction: off | ample");
   bool bitstate = cli.bool_flag(
       "bitstate", false,
       "approximate supertrace search (mem-mb becomes the bit-array size)");
@@ -97,6 +100,12 @@ int main(int argc, char** argv) {
   if (!symmetry) {
     std::fprintf(stderr, "bad --symmetry value '%s' (off | canonical)\n",
                  sym_arg.c_str());
+    return 2;
+  }
+  auto por = verify::parse_por(por_arg);
+  if (!por) {
+    std::fprintf(stderr, "bad --por value '%s' (off | ample)\n",
+                 por_arg.c_str());
     return 2;
   }
 
@@ -119,6 +128,7 @@ int main(int argc, char** argv) {
         .field("engine", jobs <= 1 ? "seq" : "par")
         .field("jobs", static_cast<int>(jobs))
         .field("symmetry", verify::to_string(*symmetry))
+        .field("por", verify::to_string(*por))
         .field("bitstate", bitstate)
         .field("status",
                bitstate ? "approximate" : verify::to_string(r.status))
@@ -135,10 +145,12 @@ int main(int argc, char** argv) {
     for (int n : ns) {
       auto rv = bitstate
                     ? run_bitstate(sem::RendezvousSystem(p, n), mem, *symmetry)
-                    : run(sem::RendezvousSystem(p, n), mem, jobs, *symmetry);
+                    : run(sem::RendezvousSystem(p, n), mem, jobs, *symmetry,
+                          *por);
       auto as = bitstate
                     ? run_bitstate(runtime::AsyncSystem(rp, n), mem, *symmetry)
-                    : run(runtime::AsyncSystem(rp, n), mem, jobs, *symmetry);
+                    : run(runtime::AsyncSystem(rp, n), mem, jobs, *symmetry,
+                          *por);
       record(name, n, "rendezvous", rv);
       record(name, n, "asynchronous", as);
       table.row({name, strf("%d", n),

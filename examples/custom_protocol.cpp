@@ -61,11 +61,15 @@ remote r {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  int n = static_cast<int>(cli.int_flag("remotes", 2, "number of remotes"));
-  auto jobs = static_cast<unsigned>(cli.int_flag(
-      "jobs", 1, "verification worker threads (1 = sequential engine)"));
+  int n = static_cast<int>(
+      cli.uint_flag("remotes", 2, 1, 64, "number of remotes"));
+  auto jobs = static_cast<unsigned>(cli.uint_flag(
+      "jobs", 1, 1, 1024,
+      "verification worker threads (1 = sequential engine)"));
   std::string sym_arg = cli.str_flag(
       "symmetry", "off", "symmetry reduction: off | canonical");
+  std::string por_arg = cli.str_flag(
+      "por", "off", "partial-order reduction: off | ample");
   bool bitstate = cli.bool_flag(
       "bitstate", false,
       "approximate supertrace search (8MB bit array; skips the simulation "
@@ -86,6 +90,12 @@ int main(int argc, char** argv) {
   if (!fairness) {
     std::fprintf(stderr, "bad --fairness value '%s' (none | weak | strong)\n",
                  fair_arg.c_str());
+    return 2;
+  }
+  auto por = verify::parse_por(por_arg);
+  if (!por) {
+    std::fprintf(stderr, "bad --por value '%s' (off | ample)\n",
+                 por_arg.c_str());
     return 2;
   }
 
@@ -158,18 +168,24 @@ int main(int argc, char** argv) {
   }
   verify::CheckOptions<runtime::AsyncSystem> opts;
   opts.symmetry = *symmetry;
+  // The Equation-1 edge check must see every edge, so the engine downgrades
+  // --por ample here and says so in the note.
+  opts.por = *por;
   opts.edge_check = refine::make_simulation_checker(async, rendezvous);
   auto as = jobs <= 1 ? verify::explore(async, opts)
                       : verify::par_explore(async, opts, jobs);
   std::printf("asynchronous (%d remotes): %s, %zu states (%.3fs)\n", n,
               verify::to_string(as.status), as.states, as.seconds);
+  if (!as.note.empty()) std::printf("  note: %s\n", as.note.c_str());
   if (as.status != verify::Status::Ok) {
     std::printf("  %s\n", as.violation.c_str());
     for (const auto& step : as.trace) std::printf("  %s\n", step.c_str());
     return 1;
   }
 
-  auto prog = verify::check_progress(async);
+  verify::ProgressOptions prog_opts;
+  prog_opts.por = *por;
+  auto prog = verify::check_progress(async, prog_opts);
   std::printf("progress: %zu/%zu states can always complete another "
               "rendezvous%s\n",
               prog.states - prog.doomed, prog.states,
@@ -179,6 +195,7 @@ int main(int argc, char** argv) {
     verify::LivenessOptions lopts;
     lopts.fairness = *fairness;
     lopts.symmetry = *symmetry;
+    lopts.por = *por;
     auto live = ltl::check_ltl(async, ltl_text, lopts);
     std::printf("ltl %s under %s fairness: %s, %zu product states (%.3fs)\n",
                 ltl_text.c_str(), verify::to_string(*fairness),

@@ -47,15 +47,15 @@ void report(Table& table, const char* name, const sim::SimStats& stats) {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  int n = static_cast<int>(cli.int_flag("remotes", 8, "number of remotes"));
-  int cycles =
-      static_cast<int>(cli.int_flag("cycles", 100, "ops per remote"));
+  int n = static_cast<int>(
+      cli.uint_flag("remotes", 8, 1, 64, "number of remotes"));
+  int cycles = static_cast<int>(
+      cli.uint_flag("cycles", 100, 1, 1u << 20, "ops per remote"));
   double write_frac = cli.double_flag("write-fraction", 0.3,
                                       "invalidate write-miss ratio");
-  std::uint64_t seed =
-      static_cast<std::uint64_t>(cli.int_flag("seed", 1, "scheduler seed"));
+  std::uint64_t seed = cli.uint_flag("seed", 1, 0, ~0ull, "scheduler seed");
   int k = static_cast<int>(
-      cli.int_flag("home-buffer", 2, "home buffer capacity k"));
+      cli.uint_flag("home-buffer", 2, 2, 1024, "home buffer capacity k"));
   cli.finish();
 
   refine::Options opts;

@@ -27,13 +27,17 @@ using namespace ccref;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  int n = static_cast<int>(cli.int_flag("clients", 6, "number of clients"));
-  int locks = static_cast<int>(
-      cli.int_flag("acquisitions", 50, "lock/unlock pairs per client"));
-  auto jobs = static_cast<unsigned>(cli.int_flag(
-      "jobs", 1, "verification worker threads (1 = sequential engine)"));
+  int n = static_cast<int>(
+      cli.uint_flag("clients", 6, 1, 64, "number of clients"));
+  int locks = static_cast<int>(cli.uint_flag(
+      "acquisitions", 50, 1, 1u << 20, "lock/unlock pairs per client"));
+  auto jobs = static_cast<unsigned>(cli.uint_flag(
+      "jobs", 1, 1, 1024,
+      "verification worker threads (1 = sequential engine)"));
   std::string sym_arg = cli.str_flag(
       "symmetry", "off", "symmetry reduction: off | canonical");
+  std::string por_arg = cli.str_flag(
+      "por", "off", "partial-order reduction: off | ample");
   bool bitstate = cli.bool_flag(
       "bitstate", false,
       "approximate supertrace verification (8MB bit array; skips the "
@@ -54,6 +58,12 @@ int main(int argc, char** argv) {
   if (!fairness) {
     std::fprintf(stderr, "bad --fairness value '%s' (none | weak | strong)\n",
                  fair_arg.c_str());
+    return 2;
+  }
+  auto por = verify::parse_por(por_arg);
+  if (!por) {
+    std::fprintf(stderr, "bad --por value '%s' (off | ample)\n",
+                 por_arg.c_str());
     return 2;
   }
 
@@ -104,13 +114,20 @@ int main(int argc, char** argv) {
     verify::CheckOptions<runtime::AsyncSystem> as_opts;
     as_opts.memory_limit = 512u << 20;
     as_opts.symmetry = *symmetry;
+    // Invariant + edge check force the engine to see every state and edge,
+    // so --por ample is downgraded here (the note says so); the progress
+    // and LTL checks below still honor it.
+    as_opts.por = *por;
     as_opts.invariant = protocols::lock_server_async_invariant(p, check_n);
     as_opts.edge_check = refine::make_simulation_checker(async, rendezvous);
     auto as = jobs <= 1 ? verify::explore(async, as_opts)
                         : verify::par_explore(async, as_opts, jobs);
     std::printf("asynchronous + Equation 1 (%d clients): %s (%zu states)\n",
                 check_n, verify::to_string(as.status), as.states);
-    auto prog = verify::check_progress(async);
+    if (!as.note.empty()) std::printf("  note: %s\n", as.note.c_str());
+    verify::ProgressOptions prog_opts;
+    prog_opts.por = *por;
+    auto prog = verify::check_progress(async, prog_opts);
     std::printf("forward progress: %zu doomed states\n", prog.doomed);
     if (rv.status != verify::Status::Ok || as.status != verify::Status::Ok ||
         prog.doomed != 0)
@@ -120,6 +137,7 @@ int main(int argc, char** argv) {
       verify::LivenessOptions lopts;
       lopts.fairness = *fairness;
       lopts.symmetry = *symmetry;
+      lopts.por = *por;
       auto live = ltl::check_ltl(async, ltl_text, lopts);
       std::printf("ltl %s under %s fairness: %s, %zu product states\n",
                   ltl_text.c_str(), verify::to_string(*fairness),

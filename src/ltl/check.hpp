@@ -32,7 +32,9 @@ struct CompiledProperty {
   std::string text;   // the property as given
   Buchi aut;          // automaton for the *negated* property
   std::vector<ApFn<typename Sys::State>> atoms;
-  bool symmetric = true;  // all atoms remote-permutation invariant
+  bool symmetric = true;   // all atoms remote-permutation invariant
+  bool next_free = true;   // no X operator => stutter-invariant => POR-safe
+  std::uint64_t visible_remotes = 0;  // POR visibility mask (ap.hpp)
 };
 
 template <class Sys>
@@ -59,6 +61,8 @@ template <class Sys>
   out.aut = translate(negated, parsed.atoms.size());
   out.atoms = std::move(bound.eval);
   out.symmetric = bound.symmetric;
+  out.next_free = next_free(parsed.formula);
+  out.visible_remotes = bound.visible_remotes;
   return out;
 }
 
@@ -77,6 +81,16 @@ template <class Sys>
     result.note =
         "symmetry downgraded to off: the formula names concrete remotes, so "
         "the orbit quotient is unsound for it";
+  }
+  if (run.por == verify::PorMode::Ample && !prop.next_free) {
+    run.por = verify::PorMode::Off;
+    const char* msg =
+        "por downgraded to off: the formula contains X (next), which the "
+        "ample-set reduction does not preserve";
+    result.note =
+        result.note.empty() ? msg : result.note + std::string("; ") + msg;
+  } else {
+    run.por_visible = prop.visible_remotes;
   }
   std::string note = std::move(result.note);
   result = verify::find_accepting_lasso(sys, prop.aut, prop.atoms, run);

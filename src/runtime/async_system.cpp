@@ -73,6 +73,39 @@ std::vector<std::pair<AsyncState, Label>> AsyncSystem::successors(
   return out;
 }
 
+AsyncSystem::PorSuccessors AsyncSystem::successors_por(const AsyncState& s,
+                                                       LabelMode mode) const {
+  PorSuccessors out;
+  for (int i = 0; i < n_; ++i)
+    if (!s.up[i].empty()) {
+      std::size_t first = out.all.size();
+      deliver_to_home(s, i, mode, out.all);
+      for (std::size_t e = first; e < out.all.size(); ++e)
+        out.all[e].second.actor = i;
+    }
+  std::vector<std::uint32_t> delivery(n_, 0);
+  for (int i = 0; i < n_; ++i)
+    if (!s.down[i].empty()) {
+      std::size_t first = out.all.size();
+      deliver_to_remote(s, i, mode, out.all);
+      // Candidacy below relies on the down-head delivery being exactly one
+      // edge: every deliver_to_remote case consumes the head one way.
+      CCREF_ASSERT(out.all.size() == first + 1);
+      out.all[first].second.actor = i;
+      delivery[i] = static_cast<std::uint32_t>(first);
+    }
+  home_local(s, mode, out.all);
+  for (int i = 0; i < n_; ++i) {
+    auto first = static_cast<std::uint32_t>(out.all.size());
+    remote_local(s, i, mode, out.all);
+    if (!s.down[i].empty() &&
+        s.up[i].size() < static_cast<std::size_t>(cap_))
+      out.candidates.push_back(
+          {i, delivery[i], first, static_cast<std::uint32_t>(out.all.size())});
+  }
+  return out;
+}
+
 // ---- helpers ----------------------------------------------------------------
 
 bool AsyncSystem::input_source_matches(const InputGuard& ig,

@@ -1,5 +1,6 @@
 #include "support/cli.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,6 +8,16 @@
 #include "support/strings.hpp"
 
 namespace ccref {
+
+std::optional<std::uint64_t> parse_uint(std::string_view text,
+                                        std::uint64_t min, std::uint64_t max) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value, 10);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return {};
+  if (value < min || value > max) return {};
+  return value;
+}
 
 Cli::Cli(int argc, char** argv) {
   CCREF_REQUIRE(argc >= 1);
@@ -48,8 +59,28 @@ std::int64_t Cli::int_flag(std::string_view name, std::int64_t def,
                            help);
   char* end = nullptr;
   long long parsed = std::strtoll(v.c_str(), &end, 10);
-  CCREF_REQUIRE_MSG(end && *end == '\0', "flag value is not an integer");
+  if (!end || *end != '\0' || v.empty()) {
+    std::fprintf(stderr, "%s: bad value for --%.*s: '%s' (expected integer)\n",
+                 program_.c_str(), static_cast<int>(name.size()), name.data(),
+                 v.c_str());
+    std::exit(2);
+  }
   return parsed;
+}
+
+std::uint64_t Cli::uint_flag(std::string_view name, std::uint64_t def,
+                             std::uint64_t min, std::uint64_t max,
+                             std::string_view help) {
+  std::string v = str_flag(
+      name, strf("%llu", static_cast<unsigned long long>(def)), help);
+  if (auto parsed = parse_uint(v, min, max)) return *parsed;
+  std::fprintf(stderr,
+               "%s: bad value for --%.*s: '%s' (expected integer in "
+               "[%llu, %llu])\n",
+               program_.c_str(), static_cast<int>(name.size()), name.data(),
+               v.c_str(), static_cast<unsigned long long>(min),
+               static_cast<unsigned long long>(max));
+  std::exit(2);
 }
 
 double Cli::double_flag(std::string_view name, double def,
@@ -57,7 +88,12 @@ double Cli::double_flag(std::string_view name, double def,
   std::string v = str_flag(name, strf("%g", def), help);
   char* end = nullptr;
   double parsed = std::strtod(v.c_str(), &end);
-  CCREF_REQUIRE_MSG(end && *end == '\0', "flag value is not a number");
+  if (!end || *end != '\0' || v.empty()) {
+    std::fprintf(stderr, "%s: bad value for --%.*s: '%s' (expected number)\n",
+                 program_.c_str(), static_cast<int>(name.size()), name.data(),
+                 v.c_str());
+    std::exit(2);
+  }
   return parsed;
 }
 
@@ -65,8 +101,11 @@ bool Cli::bool_flag(std::string_view name, bool def, std::string_view help) {
   std::string v = str_flag(name, def ? "true" : "false", help);
   if (v == "true" || v == "1" || v == "yes") return true;
   if (v == "false" || v == "0" || v == "no") return false;
-  CCREF_REQUIRE_MSG(false, "flag value is not a boolean");
-  return def;
+  std::fprintf(stderr,
+               "%s: bad value for --%.*s: '%s' (expected true or false)\n",
+               program_.c_str(), static_cast<int>(name.size()), name.data(),
+               v.c_str());
+  std::exit(2);
 }
 
 void Cli::finish() {

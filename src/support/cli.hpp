@@ -1,26 +1,41 @@
 // Minimal command-line flag parsing for bench/example binaries.
 //
 // Supports `--name=value`, `--name value`, and boolean `--flag`. Unknown
-// flags are an error so typos in experiment sweeps fail loudly.
+// flags are an error so typos in experiment sweeps fail loudly, and
+// malformed numeric values exit 2 with a message naming the flag rather
+// than aborting.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace ccref {
 
+/// Strict whole-string unsigned parse with a range check. Rejects signs,
+/// whitespace, trailing junk, and out-of-range values; the flag helpers
+/// below build their exit-2 diagnostics on top of this.
+[[nodiscard]] std::optional<std::uint64_t> parse_uint(std::string_view text,
+                                                      std::uint64_t min,
+                                                      std::uint64_t max);
+
 class Cli {
  public:
   Cli(int argc, char** argv);
 
   /// Declare flags with defaults; returns parsed value. Declaration order
-  /// doubles as --help order.
+  /// doubles as --help order. Malformed or out-of-range values print a
+  /// message naming the flag to stderr and exit 2.
   [[nodiscard]] std::int64_t int_flag(std::string_view name,
                                       std::int64_t def,
                                       std::string_view help = "");
+  [[nodiscard]] std::uint64_t uint_flag(std::string_view name,
+                                        std::uint64_t def, std::uint64_t min,
+                                        std::uint64_t max,
+                                        std::string_view help = "");
   [[nodiscard]] double double_flag(std::string_view name, double def,
                                    std::string_view help = "");
   [[nodiscard]] bool bool_flag(std::string_view name, bool def,

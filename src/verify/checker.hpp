@@ -22,6 +22,7 @@
 
 #include "sem/label.hpp"
 #include "support/bytes.hpp"
+#include "verify/por.hpp"
 #include "verify/state_set.hpp"
 #include "verify/symmetry.hpp"
 
@@ -53,6 +54,7 @@ struct CheckResult {
   std::size_t memory_bytes = 0;
   double seconds = 0;
   std::string violation;           // message for violated invariant
+  std::string note;                // engine notes (e.g. a POR downgrade)
   std::vector<std::string> trace;  // labels root -> offending state
 };
 
@@ -73,6 +75,12 @@ struct CheckOptions {
   /// (symmetry.hpp); state counts become orbit counts. Ignored by systems
   /// that do not provide canonicalize() (custom test harnesses).
   SymmetryMode symmetry = SymmetryMode::Off;
+  /// Ample expands an ample subset of each state's transitions (por.hpp).
+  /// Ignored by systems without successors_por(). Per-state invariants and
+  /// edge checks observe more than reachability, so either downgrades the
+  /// reduction to Off (recorded in CheckResult::note): a reduced search
+  /// checks them only on the reduced graph's states/edges.
+  PorMode por = PorMode::Off;
 };
 
 namespace detail {
@@ -98,6 +106,40 @@ template <class Sys>
 concept HasCanonicalize = requires(const Sys& sys, typename Sys::State& s) {
   { sys.canonicalize(s) };
 };
+
+/// Does the system expose ample-candidate structure for partial-order
+/// reduction? Systems without it (rendezvous semantics, custom harnesses)
+/// run with PorMode::Ample as a no-op.
+template <class Sys>
+concept HasPor = requires(const Sys& sys, const typename Sys::State& s) {
+  { sys.successors_por(s, sem::LabelMode::Quiet) };
+};
+
+/// Select the ample candidate to expand: invisible to the observer mask
+/// (bit i set = remote i's moves can change an observed predicate) and a
+/// strict subset of the enabled edges (expanding everything through a
+/// candidate that IS everything gains nothing and would double-process
+/// edges). Smallest edge count first, lowest process id on ties, so the
+/// sequential and parallel engines make the same deterministic choice.
+/// Returns nullptr when no candidate qualifies: fall back to full expansion.
+template <class PS>
+const typename PS::Candidate* pick_ample(const PS& ps,
+                                         std::uint64_t visible) {
+  const typename PS::Candidate* best = nullptr;
+  std::size_t best_edges = 0;
+  for (const auto& c : ps.candidates) {
+    if (c.process >= 0 && c.process < 64 && ((visible >> c.process) & 1))
+      continue;
+    std::size_t edges = 1 + (c.local_end - c.local_begin);
+    if (edges >= ps.all.size()) continue;
+    if (!best || edges < best_edges ||
+        (edges == best_edges && c.process < best->process)) {
+      best = &c;
+      best_edges = edges;
+    }
+  }
+  return best;
+}
 
 /// Canonicalize `s` in place when the mode asks for it and the system
 /// supports it; otherwise leave the concrete state untouched.
@@ -209,15 +251,29 @@ enum class BfsOutcome : std::uint8_t {
 /// once. Policy hangs off three callbacks, each returning false to stop:
 ///
 ///   on_expand(index, state, succs)            before a state's edges
+///                                             (succs is always the FULL
+///                                             enumeration, even under POR,
+///                                             so deadlock detection stays
+///                                             exact)
 ///   on_edge(from, state, succ, label)         per edge, on the *concrete*
 ///                                             successor (pre-canonicalize;
 ///                                             edge checks need this)
 ///   on_insert(from, insert_result, succ, label)
 ///                                             after the insert attempt;
 ///                                             succ is canonicalized here
+///
+/// Under PorMode::Ample (systems with successors_por only) each state first
+/// expands one ample candidate's edges; the rest are expanded too when any
+/// ample successor was already visited — the BFS cycle proviso (C3): every
+/// cycle of the reduced graph has a member whose first insertion precedes a
+/// cycle edge into it, so that edge observes AlreadyPresent and its source
+/// is fully expanded — no transition is ignored forever. `por_visible` masks
+/// remotes whose moves an observer can see (LTL atoms); their candidates are
+/// never selected (C2).
 template <class Sys, class OnExpand, class OnEdge, class OnInsert>
 BfsOutcome bfs_reach(const Sys& sys, StateSet& seen, SymmetryMode symmetry,
-                     sem::LabelMode mode, OnExpand&& on_expand,
+                     sem::LabelMode mode, PorMode por,
+                     std::uint64_t por_visible, OnExpand&& on_expand,
                      OnEdge&& on_edge, OnInsert&& on_insert) {
   ByteSink sink;  // reused across every encode below
   {
@@ -232,9 +288,9 @@ BfsOutcome bfs_reach(const Sys& sys, StateSet& seen, SymmetryMode symmetry,
   for (std::uint32_t cursor = 0; cursor < seen.size(); ++cursor) {
     ByteSource src(seen.at(cursor));
     auto state = sys.decode(src);
-    auto succs = successors_of(sys, state, mode);
-    if (!on_expand(cursor, state, succs)) return BfsOutcome::Stopped;
-    for (auto& [succ, label] : succs) {
+
+    bool revisit = false;
+    auto step = [&](auto& succ, sem::Label& label) {
       if (!on_edge(cursor, state, succ, label)) return BfsOutcome::Stopped;
       maybe_canonicalize(sys, succ, symmetry);
       sink.clear();
@@ -242,7 +298,43 @@ BfsOutcome bfs_reach(const Sys& sys, StateSet& seen, SymmetryMode symmetry,
       auto ins = seen.insert(sink.bytes());
       if (ins.outcome == StateSet::Outcome::Exhausted)
         return BfsOutcome::Exhausted;
+      if (ins.outcome == StateSet::Outcome::AlreadyPresent) revisit = true;
       if (!on_insert(cursor, ins, succ, label)) return BfsOutcome::Stopped;
+      return BfsOutcome::Complete;  // keep going
+    };
+
+    if constexpr (HasPor<Sys>) {
+      if (por == PorMode::Ample) {
+        auto ps = sys.successors_por(state, mode);
+        if (!on_expand(cursor, state, ps.all)) return BfsOutcome::Stopped;
+        const auto* amp = pick_ample(ps, por_visible);
+        auto in_ample = [&](std::size_t e) {
+          return amp && (e == amp->delivery ||
+                         (e >= amp->local_begin && e < amp->local_end));
+        };
+        if (amp) {
+          auto r = step(ps.all[amp->delivery].first,
+                        ps.all[amp->delivery].second);
+          if (r != BfsOutcome::Complete) return r;
+          for (std::size_t e = amp->local_begin; e < amp->local_end; ++e) {
+            r = step(ps.all[e].first, ps.all[e].second);
+            if (r != BfsOutcome::Complete) return r;
+          }
+          if (!revisit) continue;  // proviso clear: postpone the rest
+        }
+        for (std::size_t e = 0; e < ps.all.size(); ++e) {
+          if (in_ample(e)) continue;
+          auto r = step(ps.all[e].first, ps.all[e].second);
+          if (r != BfsOutcome::Complete) return r;
+        }
+        continue;
+      }
+    }
+    auto succs = successors_of(sys, state, mode);
+    if (!on_expand(cursor, state, succs)) return BfsOutcome::Stopped;
+    for (auto& [succ, label] : succs) {
+      auto r = step(succ, label);
+      if (r != BfsOutcome::Complete) return r;
     }
   }
   return BfsOutcome::Complete;
@@ -281,6 +373,17 @@ template <class Sys>
   const sem::LabelMode mode =
       opts.edge_check ? sem::LabelMode::Full : sem::LabelMode::Quiet;
 
+  // Invariants and edge checks observe state/edge detail the ample sets are
+  // not invisible to (C2): a reduced search would check them only on the
+  // reduced graph. Downgrade rather than return a weaker verdict.
+  PorMode por = opts.por;
+  if (por == PorMode::Ample && (opts.invariant || opts.edge_check)) {
+    por = PorMode::Off;
+    result.note =
+        "por downgraded to off: invariants/edge checks must see every "
+        "reachable state and edge";
+  }
+
   // Violation details are captured here by the callbacks; the matching
   // fail_at() runs once bfs_reach returns Stopped.
   Status stop_status = Status::Ok;
@@ -295,7 +398,7 @@ template <class Sys>
   parent.push_back(0xffffffffu);  // the root bfs_reach is about to insert
 
   auto outcome = detail::bfs_reach(
-      sys, seen, opts.symmetry, mode,
+      sys, seen, opts.symmetry, mode, por, /*por_visible=*/0,
       [&](std::uint32_t index, const auto& state, const auto& succs) {
         if (index == 0 && opts.invariant) {
           std::string msg = opts.invariant(state);

@@ -64,6 +64,17 @@ template <class Sys>
   CheckResult result;
   const sem::LabelMode mode =
       opts.edge_check ? sem::LabelMode::Full : sem::LabelMode::Quiet;
+
+  // Same downgrade rule as the sequential engine: invariants/edge checks
+  // must see every reachable state and edge, which a reduced search does not
+  // visit.
+  PorMode por = opts.por;
+  if (por == PorMode::Ample && (opts.invariant || opts.edge_check)) {
+    por = PorMode::Off;
+    result.note =
+        "por downgraded to off: invariants/edge checks must see every "
+        "reachable state and edge";
+  }
   ShardedStateSet seen(opts.memory_limit, shards,
                        /*track_parents=*/opts.want_trace);
 
@@ -161,20 +172,16 @@ template <class Sys>
       }
       ByteSource src(item.bytes);
       auto state = sys.decode(src);
-      auto succs = detail::successors_of(sys, state, mode);
-      if (succs.empty() && opts.detect_deadlock) {
-        report(Status::Deadlock, item.ref,
-               "deadlock: no enabled transition in " + sys.describe(state));
-        return;
-      }
-      for (auto& [succ, label] : succs) {
+
+      bool revisit = false;  // some successor was already visited (C3)
+      auto do_edge = [&](auto& succ, sem::Label& label) {
         ++self.transitions;
         if (opts.edge_check) {
           std::string msg = opts.edge_check(state, succ, label);
           if (!msg.empty()) {
             report(Status::InvariantViolated, item.ref,
                    "edge '" + label.text + "': " + msg);
-            return;
+            return false;
           }
         }
         detail::maybe_canonicalize(sys, succ, opts.symmetry);
@@ -184,14 +191,15 @@ template <class Sys>
             seen.insert(self.sink.bytes(), ShardedStateSet::pack(item.ref));
         if (ins.outcome == StateSet::Outcome::Exhausted) {
           report(Status::Unfinished, {}, std::string());
-          return;
+          return false;
         }
+        if (ins.outcome == StateSet::Outcome::AlreadyPresent) revisit = true;
         if (ins.outcome == StateSet::Outcome::Inserted) {
           if (opts.invariant) {
             std::string msg = opts.invariant(succ);
             if (!msg.empty()) {
               report(Status::InvariantViolated, ins.ref, std::move(msg));
-              return;
+              return false;
             }
           }
           pending.fetch_add(1, std::memory_order_release);
@@ -200,7 +208,51 @@ template <class Sys>
           self.frontier.push_back(
               {ins.ref, std::vector<std::byte>(b.begin(), b.end())});
         }
+        return true;
+      };
+
+      if constexpr (detail::HasPor<Sys>) {
+        if (por == PorMode::Ample) {
+          auto ps = sys.successors_por(state, mode);
+          if (ps.all.empty() && opts.detect_deadlock) {
+            report(Status::Deadlock, item.ref,
+                   "deadlock: no enabled transition in " +
+                       sys.describe(state));
+            return;
+          }
+          // Conservative C3 under parallelism: a racing insert of an ample
+          // successor by another worker reads back AlreadyPresent here, so
+          // races only cause extra full expansions, never a missed one.
+          const auto* amp = detail::pick_ample(ps, /*visible=*/0);
+          auto in_ample = [&](std::size_t e) {
+            return amp && (e == amp->delivery ||
+                           (e >= amp->local_begin && e < amp->local_end));
+          };
+          if (amp) {
+            if (!do_edge(ps.all[amp->delivery].first,
+                         ps.all[amp->delivery].second))
+              return;
+            for (std::size_t e = amp->local_begin; e < amp->local_end; ++e)
+              if (!do_edge(ps.all[e].first, ps.all[e].second)) return;
+          }
+          if (!amp || revisit) {
+            for (std::size_t e = 0; e < ps.all.size(); ++e) {
+              if (in_ample(e)) continue;
+              if (!do_edge(ps.all[e].first, ps.all[e].second)) return;
+            }
+          }
+          pending.fetch_sub(1, std::memory_order_acq_rel);
+          continue;
+        }
       }
+      auto succs = detail::successors_of(sys, state, mode);
+      if (succs.empty() && opts.detect_deadlock) {
+        report(Status::Deadlock, item.ref,
+               "deadlock: no enabled transition in " + sys.describe(state));
+        return;
+      }
+      for (auto& [succ, label] : succs)
+        if (!do_edge(succ, label)) return;
       pending.fetch_sub(1, std::memory_order_acq_rel);
     }
   };

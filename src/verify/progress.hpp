@@ -30,6 +30,13 @@ struct ProgressOptions {
   /// stays reachable" is invariant under remote permutation, so a doomed
   /// representative implies a doomed orbit and vice versa.
   SymmetryMode symmetry = SymmetryMode::Off;
+  /// Ample-set reduction (por.hpp). Sound here with no extra restrictions:
+  /// reduced paths are real paths (no false doomed states), and with the
+  /// cycle proviso every full-graph trace from a reduced state has a
+  /// reduced-graph path carrying the same transitions, so a completion
+  /// reachable in the full graph stays reachable in the reduced one (no
+  /// missed doomed states). Reported counts are reduced-graph quantities.
+  PorMode por = PorMode::Off;
 };
 
 struct ProgressResult {
@@ -77,7 +84,8 @@ template <class Sys>
   };
 
   auto outcome = detail::bfs_reach(
-      sys, seen, opts.symmetry, sem::LabelMode::Quiet,
+      sys, seen, opts.symmetry, sem::LabelMode::Quiet, opts.por,
+      /*por_visible=*/0,
       [&](std::uint32_t index, const auto&, const auto&) {
         if (index == 0) {  // bfs_reach just inserted the root
           rev.emplace_back();

@@ -42,14 +42,12 @@ class StateSet {
   explicit StateSet(std::size_t memory_limit_bytes)
       : owned_(std::make_unique<MemoryBudget>(memory_limit_bytes)),
         budget_(owned_.get()) {
-    table_.resize(kInitialSlots, kEmpty);
+    init_table();
   }
 
   /// Shard constructor: draw on a budget shared with sibling sets. The
   /// caller keeps `budget` alive for the set's lifetime.
-  explicit StateSet(MemoryBudget& budget) : budget_(&budget) {
-    table_.resize(kInitialSlots, kEmpty);
-  }
+  explicit StateSet(MemoryBudget& budget) : budget_(&budget) { init_table(); }
 
   [[nodiscard]] InsertResult insert(std::span<const std::byte> state) {
     return insert(state, hash_bytes(state));
@@ -79,8 +77,12 @@ class StateSet {
         grown(entries_.capacity(), entries_.size() + 1) * sizeof(Entry) +
         table_.capacity() * sizeof(std::uint32_t);
     if (projected > reserved_) {
-      if (!budget_->try_reserve(projected - reserved_))
+      if (!budget_->try_reserve(projected - reserved_)) {
+        // Nothing was allocated; hand back anything charged beyond actual
+        // use so sibling shards on a shared budget see the true headroom.
+        reconcile();
         return {Outcome::Exhausted, 0};
+      }
       reserved_ = projected;
     }
 
@@ -94,10 +96,14 @@ class StateSet {
     if (entries_.size() * 10 > table_.size() * 7) {
       if (!grow()) {
         // Rolling back keeps the set consistent if the grow would burst the
-        // budget; the caller sees exhaustion on this insert.
+        // budget; the caller sees exhaustion on this insert. The rollback
+        // shrinks sizes but not capacities, so reserved_ may now exceed
+        // memory_used(): reconcile to release the difference, or sibling
+        // shards on a shared budget would run against phantom charges.
         table_[slot] = kEmpty;
         pool_.resize(entries_.back().offset);
         entries_.pop_back();
+        reconcile();
         return {Outcome::Exhausted, 0};
       }
     }
@@ -136,6 +142,14 @@ class StateSet {
   static constexpr std::uint32_t kEmpty = 0xffffffffu;
   static constexpr std::size_t kInitialSlots = 1024;
 
+  /// Charge the initial table to the budget immediately. An idle shard on a
+  /// shared budget still holds its table; deferring the charge to the first
+  /// insert would let budget().used() drift below the memory actually held.
+  void init_table() {
+    table_.resize(kInitialSlots, kEmpty);
+    reconcile();
+  }
+
   [[nodiscard]] bool equals(std::uint32_t e,
                             std::span<const std::byte> state) const {
     const Entry& ent = entries_[e];
@@ -143,15 +157,21 @@ class StateSet {
     return std::equal(state.begin(), state.end(), pool_.begin() + ent.offset);
   }
 
-  /// Charge the budget for any capacity the vectors actually grabbed beyond
-  /// the projection (libstdc++ doubles exactly, so this is normally a no-op;
-  /// stay honest on other growth policies).
+  /// Re-align the reservation with what the vectors actually hold: charge
+  /// any capacity grabbed beyond the projection (libstdc++ doubles exactly,
+  /// so that direction is normally a no-op) and release any projected bytes
+  /// the vectors never took — after a growth policy lands below max(2*cap,
+  /// need), or after an insert rollback. Leaving the surplus charged would
+  /// starve sibling shards drawing on a shared budget.
   void reconcile() {
     std::size_t actual = memory_used();
     if (actual > reserved_) {
       // Over-projection failure here would mean the allocator already
       // grabbed the memory; record it rather than lie about usage.
       (void)budget_->try_reserve(actual - reserved_);
+      reserved_ = actual;
+    } else if (reserved_ > actual) {
+      budget_->release(reserved_ - actual);
       reserved_ = actual;
     }
   }
