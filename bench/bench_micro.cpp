@@ -10,6 +10,7 @@
 #include "sem/rendezvous.hpp"
 #include "support/hash.hpp"
 #include "verify/checker.hpp"
+#include "verify/collapse.hpp"
 #include "verify/state_set.hpp"
 
 using namespace ccref;
@@ -75,6 +76,17 @@ void BM_HashBytes(benchmark::State& state) {
 }
 BENCHMARK(BM_HashBytes)->Arg(16)->Arg(64)->Arg(1024);
 
+// Collapse-compression dictionary keys are mostly 1-4 bytes; the length-mixed
+// finalizer keeps throughput flat across these sizes.
+void BM_HashBytesShort(benchmark::State& state) {
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)),
+                              std::byte{0x5a});
+  for (auto _ : state) benchmark::DoNotOptimize(hash_bytes(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HashBytesShort)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
 void BM_StateSetInsert(benchmark::State& state) {
   std::uint64_t i = 0;
   verify::StateSet set(1u << 30);
@@ -86,6 +98,79 @@ void BM_StateSetInsert(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StateSetInsert);
+
+// Encode a real async state through a ComponentSink (marks recorded) vs. the
+// plain ByteSink above — the marginal cost of boundary bookkeeping.
+void BM_AsyncEncodeWithMarks(benchmark::State& state) {
+  runtime::AsyncSystem sys(refined_migratory(),
+                           static_cast<int>(state.range(0)));
+  auto s = sys.initial();
+  ComponentSink sink;
+  for (auto _ : state) {
+    sink.clear();
+    sys.encode(s, sink);
+    benchmark::DoNotOptimize(sink.bytes());
+    benchmark::DoNotOptimize(sink.marks());
+  }
+}
+BENCHMARK(BM_AsyncEncodeWithMarks)->Arg(4)->Arg(64);
+
+// Insert throughput + bytes-per-state of the collapsed visited set against
+// the raw baseline, over the real reachable set of the async migratory
+// protocol at N = range(0). Counters report the achieved compression ratio.
+void BM_CollapseInsert(benchmark::State& state) {
+  runtime::AsyncSystem sys(refined_migratory(),
+                           static_cast<int>(state.range(0)));
+  const auto mode = state.range(1) ? verify::CompressionMode::Collapse
+                                   : verify::CompressionMode::Off;
+  // Pre-enumerate a batch of distinct reachable encodings so the timed loop
+  // measures insertion, not successor generation.
+  std::vector<std::vector<std::byte>> encs;
+  std::vector<std::vector<ComponentMark>> all_marks;
+  {
+    verify::CollapsedStateSet dedup(64u << 20);
+    ComponentSink sink;
+    auto root = sys.initial();
+    sys.encode(root, sink);
+    (void)dedup.insert(sink.bytes());
+    encs.emplace_back(sink.bytes().begin(), sink.bytes().end());
+    all_marks.emplace_back(sink.marks().begin(), sink.marks().end());
+    for (std::size_t cur = 0; cur < encs.size() && encs.size() < 20000;
+         ++cur) {
+      ByteSource src(encs[cur]);
+      auto s = sys.decode(src);
+      for (auto& [succ, label] : sys.successors(s, sem::LabelMode::Quiet)) {
+        sink.clear();
+        sys.encode(succ, sink);
+        if (dedup.insert(sink.bytes()).outcome ==
+            verify::StateSet::Outcome::Inserted) {
+          encs.emplace_back(sink.bytes().begin(), sink.bytes().end());
+          all_marks.emplace_back(sink.marks().begin(), sink.marks().end());
+        }
+      }
+    }
+  }
+  std::size_t stored = 0, raw = 0, states = 0;
+  for (auto _ : state) {
+    verify::CollapsedStateSet set(1u << 30, mode);
+    for (std::size_t i = 0; i < encs.size(); ++i)
+      benchmark::DoNotOptimize(set.insert(encs[i], all_marks[i]));
+    stored = set.stored_bytes();
+    raw = set.raw_bytes();
+    states = set.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(encs.size()));
+  state.counters["bytes_per_state"] =
+      states ? static_cast<double>(stored) / static_cast<double>(states) : 0;
+  state.counters["raw_bytes_per_state"] =
+      states ? static_cast<double>(raw) / static_cast<double>(states) : 0;
+  state.counters["compression_ratio"] =
+      stored ? static_cast<double>(raw) / static_cast<double>(stored) : 0;
+}
+BENCHMARK(BM_CollapseInsert)
+    ->ArgsProduct({{3, 4}, {0, 1}})
+    ->ArgNames({"n", "collapse"});
 
 void BM_ExploreMigratoryRendezvous(benchmark::State& state) {
   for (auto _ : state) {
@@ -109,6 +194,7 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("jobs", "1");
   benchmark::AddCustomContext("symmetry", "off");
   benchmark::AddCustomContext("por", "off");
+  benchmark::AddCustomContext("compress", "off");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

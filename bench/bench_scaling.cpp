@@ -39,6 +39,11 @@ int main(int argc, char** argv) {
       "symmetry", "off", "symmetry reduction: off | canonical");
   std::string por_arg = cli.str_flag(
       "por", "off", "partial-order reduction: off | ample");
+  std::string compress_arg = cli.str_flag(
+      "compress", "off", "state-vector compression: off | collapse");
+  auto expect_states = static_cast<std::size_t>(cli.uint_flag(
+      "expect-states", 0, 0, 1u << 31,
+      "pre-size the visited set for this many states (0: grow on demand)"));
   std::string json_path =
       cli.str_flag("json", "", "dump machine-readable results to this file");
   cli.finish();
@@ -52,6 +57,12 @@ int main(int argc, char** argv) {
   if (!por) {
     std::fprintf(stderr, "bad --por value '%s' (off | ample)\n",
                  por_arg.c_str());
+    return 2;
+  }
+  auto compress = verify::parse_compression(compress_arg);
+  if (!compress) {
+    std::fprintf(stderr, "bad --compress value '%s' (off | collapse)\n",
+                 compress_arg.c_str());
     return 2;
   }
 
@@ -72,6 +83,7 @@ int main(int argc, char** argv) {
         .field("jobs", static_cast<int>(jobs))
         .field("symmetry", verify::to_string(*symmetry))
         .field("por", verify::to_string(*por))
+        .field("compress", verify::to_string(*compress))
         .field("bitstate", bitstate);
     return o;
   };
@@ -82,7 +94,9 @@ int main(int argc, char** argv) {
         .field("states", r.states)
         .field("transitions", r.transitions)
         .field("seconds", r.seconds)
-        .field("memory_bytes", r.memory_bytes);
+        .field("memory_bytes", r.memory_bytes)
+        .field("pool_bytes", r.pool_bytes)
+        .field("raw_pool_bytes", r.raw_pool_bytes);
     json.push(o);
   };
   auto record_bitstate = [&](const char* semantics, int n,
@@ -102,6 +116,8 @@ int main(int argc, char** argv) {
     opts.want_trace = false;
     opts.symmetry = *symmetry;
     opts.por = *por;
+    opts.compress = *compress;
+    opts.expected_states = expect_states;
     sem::RendezvousSystem sys(p, n);
     auto r = jobs <= 1 ? verify::explore(sys, opts)
                        : verify::par_explore(sys, opts, jobs);
@@ -118,6 +134,8 @@ int main(int argc, char** argv) {
     opts.want_trace = false;
     opts.symmetry = *symmetry;
     opts.por = *por;
+    opts.compress = *compress;
+    opts.expected_states = expect_states;
     runtime::AsyncSystem sys(rp, n);
     auto r = jobs <= 1 ? verify::explore(sys, opts)
                        : verify::par_explore(sys, opts, jobs);

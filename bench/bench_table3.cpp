@@ -48,12 +48,16 @@ std::string cell(const verify::CheckResult& r) {
 
 template <class Sys>
 verify::CheckResult run(const Sys& sys, std::size_t mem, unsigned jobs,
-                        verify::SymmetryMode symmetry, verify::PorMode por) {
+                        verify::SymmetryMode symmetry, verify::PorMode por,
+                        verify::CompressionMode compress,
+                        std::size_t expect_states) {
   verify::CheckOptions<Sys> opts;
   opts.memory_limit = mem;
   opts.want_trace = false;
   opts.symmetry = symmetry;
   opts.por = por;
+  opts.compress = compress;
+  opts.expected_states = expect_states;
   return jobs <= 1 ? verify::explore(sys, opts)
                    : verify::par_explore(sys, opts, jobs);
 }
@@ -93,6 +97,11 @@ int main(int argc, char** argv) {
   bool bitstate = cli.bool_flag(
       "bitstate", false,
       "approximate supertrace search (mem-mb becomes the bit-array size)");
+  std::string compress_arg = cli.str_flag(
+      "compress", "off", "state-vector compression: off | collapse");
+  auto expect_states = static_cast<std::size_t>(cli.uint_flag(
+      "expect-states", 0, 0, 1u << 31,
+      "pre-size the visited set for this many states (0: grow on demand)"));
   std::string json_path =
       cli.str_flag("json", "", "dump machine-readable results to this file");
   cli.finish();
@@ -106,6 +115,12 @@ int main(int argc, char** argv) {
   if (!por) {
     std::fprintf(stderr, "bad --por value '%s' (off | ample)\n",
                  por_arg.c_str());
+    return 2;
+  }
+  auto compress = verify::parse_compression(compress_arg);
+  if (!compress) {
+    std::fprintf(stderr, "bad --compress value '%s' (off | collapse)\n",
+                 compress_arg.c_str());
     return 2;
   }
 
@@ -130,12 +145,19 @@ int main(int argc, char** argv) {
         .field("symmetry", verify::to_string(*symmetry))
         .field("por", verify::to_string(*por))
         .field("bitstate", bitstate)
+        .field("compress", verify::to_string(*compress))
         .field("status",
                bitstate ? "approximate" : verify::to_string(r.status))
         .field("states", r.states)
         .field("transitions", r.transitions)
         .field("seconds", r.seconds)
-        .field("memory_bytes", r.memory_bytes);
+        .field("memory_bytes", r.memory_bytes)
+        .field("pool_bytes", r.pool_bytes)
+        .field("raw_pool_bytes", r.raw_pool_bytes)
+        .field("compression_ratio",
+               r.pool_bytes ? static_cast<double>(r.raw_pool_bytes) /
+                                  static_cast<double>(r.pool_bytes)
+                            : 0.0);
     json.push(o);
   };
 
@@ -146,11 +168,11 @@ int main(int argc, char** argv) {
       auto rv = bitstate
                     ? run_bitstate(sem::RendezvousSystem(p, n), mem, *symmetry)
                     : run(sem::RendezvousSystem(p, n), mem, jobs, *symmetry,
-                          *por);
+                          *por, *compress, expect_states);
       auto as = bitstate
                     ? run_bitstate(runtime::AsyncSystem(rp, n), mem, *symmetry)
                     : run(runtime::AsyncSystem(rp, n), mem, jobs, *symmetry,
-                          *por);
+                          *por, *compress, expect_states);
       record(name, n, "rendezvous", rv);
       record(name, n, "asynchronous", as);
       table.row({name, strf("%d", n),

@@ -79,11 +79,19 @@ int main(int argc, char** argv) {
                  "e.g. \"G F completion\"");
   std::string fair_arg = cli.str_flag(
       "fairness", "weak", "fairness for --ltl: none | weak | strong");
+  std::string compress_arg = cli.str_flag(
+      "compress", "off", "state-vector compression: off | collapse");
   cli.finish();
   auto symmetry = verify::parse_symmetry(sym_arg);
   if (!symmetry) {
     std::fprintf(stderr, "bad --symmetry value '%s' (off | canonical)\n",
                  sym_arg.c_str());
+    return 2;
+  }
+  auto compress = verify::parse_compression(compress_arg);
+  if (!compress) {
+    std::fprintf(stderr, "bad --compress value '%s' (off | collapse)\n",
+                 compress_arg.c_str());
     return 2;
   }
   auto fairness = verify::parse_fairness(fair_arg);
@@ -139,6 +147,7 @@ int main(int argc, char** argv) {
   }
   verify::CheckOptions<sem::RendezvousSystem> rv_opts;
   rv_opts.symmetry = *symmetry;
+  rv_opts.compress = *compress;
   auto rv = jobs <= 1 ? verify::explore(rendezvous, rv_opts)
                       : verify::par_explore(rendezvous, rv_opts, jobs);
   std::printf("rendezvous (%d remotes): %s, %zu states (%.3fs)\n", n,
@@ -171,6 +180,7 @@ int main(int argc, char** argv) {
   // The Equation-1 edge check must see every edge, so the engine downgrades
   // --por ample here and says so in the note.
   opts.por = *por;
+  opts.compress = *compress;
   opts.edge_check = refine::make_simulation_checker(async, rendezvous);
   auto as = jobs <= 1 ? verify::explore(async, opts)
                       : verify::par_explore(async, opts, jobs);
@@ -185,6 +195,7 @@ int main(int argc, char** argv) {
 
   verify::ProgressOptions prog_opts;
   prog_opts.por = *por;
+  prog_opts.compress = *compress;
   auto prog = verify::check_progress(async, prog_opts);
   std::printf("progress: %zu/%zu states can always complete another "
               "rendezvous%s\n",
@@ -196,6 +207,7 @@ int main(int argc, char** argv) {
     lopts.fairness = *fairness;
     lopts.symmetry = *symmetry;
     lopts.por = *por;
+    lopts.compress = *compress;
     auto live = ltl::check_ltl(async, ltl_text, lopts);
     std::printf("ltl %s under %s fairness: %s, %zu product states (%.3fs)\n",
                 ltl_text.c_str(), verify::to_string(*fairness),

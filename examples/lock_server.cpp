@@ -47,11 +47,19 @@ int main(int argc, char** argv) {
                  "e.g. \"G (requested(0) -> F granted(0))\"");
   std::string fair_arg = cli.str_flag(
       "fairness", "weak", "fairness for --ltl: none | weak | strong");
+  std::string compress_arg = cli.str_flag(
+      "compress", "off", "state-vector compression: off | collapse");
   cli.finish();
   auto symmetry = verify::parse_symmetry(sym_arg);
   if (!symmetry) {
     std::fprintf(stderr, "bad --symmetry value '%s' (off | canonical)\n",
                  sym_arg.c_str());
+    return 2;
+  }
+  auto compress = verify::parse_compression(compress_arg);
+  if (!compress) {
+    std::fprintf(stderr, "bad --compress value '%s' (off | collapse)\n",
+                 compress_arg.c_str());
     return 2;
   }
   auto fairness = verify::parse_fairness(fair_arg);
@@ -95,6 +103,7 @@ int main(int argc, char** argv) {
   } else {
     verify::CheckOptions<sem::RendezvousSystem> rv_opts;
     rv_opts.symmetry = *symmetry;
+    rv_opts.compress = *compress;
     rv_opts.invariant = protocols::lock_server_invariant(p, check_n);
     auto rv = jobs <= 1 ? verify::explore(rendezvous, rv_opts)
                         : verify::par_explore(rendezvous, rv_opts, jobs);
@@ -118,6 +127,7 @@ int main(int argc, char** argv) {
     // so --por ample is downgraded here (the note says so); the progress
     // and LTL checks below still honor it.
     as_opts.por = *por;
+    as_opts.compress = *compress;
     as_opts.invariant = protocols::lock_server_async_invariant(p, check_n);
     as_opts.edge_check = refine::make_simulation_checker(async, rendezvous);
     auto as = jobs <= 1 ? verify::explore(async, as_opts)
@@ -127,6 +137,7 @@ int main(int argc, char** argv) {
     if (!as.note.empty()) std::printf("  note: %s\n", as.note.c_str());
     verify::ProgressOptions prog_opts;
     prog_opts.por = *por;
+    prog_opts.compress = *compress;
     auto prog = verify::check_progress(async, prog_opts);
     std::printf("forward progress: %zu doomed states\n", prog.doomed);
     if (rv.status != verify::Status::Ok || as.status != verify::Status::Ok ||
@@ -138,6 +149,7 @@ int main(int argc, char** argv) {
       lopts.fairness = *fairness;
       lopts.symmetry = *symmetry;
       lopts.por = *por;
+      lopts.compress = *compress;
       auto live = ltl::check_ltl(async, ltl_text, lopts);
       std::printf("ltl %s under %s fairness: %s, %zu product states\n",
                   ltl_text.c_str(), verify::to_string(*fairness),

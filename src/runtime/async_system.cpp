@@ -739,15 +739,23 @@ void AsyncSystem::encode(const AsyncState& s, ByteSink& sink) const {
   s.home.store.encode(sink);
   sink.u8(static_cast<std::uint8_t>(s.home.buffer.size()));
   for (const Msg& m : s.home.buffer) m.encode(sink);
+  sink.boundary(kCompHome);
   for (const auto& r : s.remotes) {
     sink.u8(r.transient ? 1 : 0);
     sink.varint(r.state);
     r.store.encode(sink);
     sink.u8(r.buffer.has_value() ? 1 : 0);
     if (r.buffer) r.buffer->encode(sink);
+    sink.boundary(kCompRemote);
   }
-  for (const auto& c : s.up) c.encode(sink);
-  for (const auto& c : s.down) c.encode(sink);
+  for (const auto& c : s.up) {
+    c.encode(sink);
+    sink.boundary(kCompUp);
+  }
+  for (const auto& c : s.down) {
+    c.encode(sink);
+    sink.boundary(kCompDown);
+  }
 }
 
 AsyncState AsyncSystem::decode(ByteSource& src) const {

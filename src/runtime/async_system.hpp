@@ -60,6 +60,15 @@ class AsyncSystem {
   [[nodiscard]] PorSuccessors successors_por(const State& s,
                                              sem::LabelMode mode) const;
 
+  /// COLLAPSE dictionary classes (verify/collapse.hpp): encode() closes one
+  /// component per class after the home machine, each remote machine, and
+  /// each up/down channel. All remotes share kCompRemote — they are the same
+  /// process, so one dictionary serves every position.
+  static constexpr std::uint8_t kCompHome = 0;
+  static constexpr std::uint8_t kCompRemote = 1;
+  static constexpr std::uint8_t kCompUp = 2;
+  static constexpr std::uint8_t kCompDown = 3;
+
   void encode(const State& s, ByteSink& sink) const;
   [[nodiscard]] State decode(ByteSource& src) const;
   [[nodiscard]] std::string describe(const State& s) const;

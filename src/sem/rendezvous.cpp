@@ -184,9 +184,11 @@ void RendezvousSystem::fire(const RvState& s, const OutputGuard& og,
 void RendezvousSystem::encode(const RvState& s, ByteSink& sink) const {
   sink.varint(s.home.state);
   s.home.store.encode(sink);
+  sink.boundary(kCompHome);
   for (const auto& r : s.remotes) {
     sink.varint(r.state);
     r.store.encode(sink);
+    sink.boundary(kCompRemote);
   }
 }
 

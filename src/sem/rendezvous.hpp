@@ -54,6 +54,12 @@ class RendezvousSystem {
   [[nodiscard]] std::vector<std::pair<State, Label>> successors(
       const State& s, LabelMode mode) const;
 
+  /// COLLAPSE dictionary classes (verify/collapse.hpp): encode() closes the
+  /// home machine and each remote machine as components. All remotes share
+  /// kCompRemote.
+  static constexpr std::uint8_t kCompHome = 0;
+  static constexpr std::uint8_t kCompRemote = 1;
+
   void encode(const State& s, ByteSink& sink) const;
   [[nodiscard]] State decode(ByteSource& src) const;
 

@@ -16,6 +16,17 @@
 
 namespace ccref {
 
+/// One component boundary inside an encoded state: the byte offset one past
+/// the component's last byte, plus the dictionary class the component belongs
+/// to (COLLAPSE compression interns components per class — e.g. all remote
+/// machines share one dictionary — see verify/collapse.hpp).
+struct ComponentMark {
+  std::uint32_t end;
+  std::uint8_t cls;
+
+  friend bool operator==(const ComponentMark&, const ComponentMark&) = default;
+};
+
 class ByteSink {
  public:
   void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
@@ -41,6 +52,26 @@ class ByteSink {
     buf_.insert(buf_.end(), data.begin(), data.end());
   }
 
+  /// Append a pre-encoded run together with its component marks, shifted to
+  /// this sink's coordinates (the liveness engine prefixes system encodings
+  /// with the automaton state and must carry the boundaries across).
+  void raw(std::span<const std::byte> data,
+           std::span<const ComponentMark> data_marks) {
+    const auto base = static_cast<std::uint32_t>(buf_.size());
+    raw(data);
+    if (marks_)
+      for (const ComponentMark& m : data_marks)
+        marks_->push_back({base + m.end, m.cls});
+  }
+
+  /// Close the current component: record the write position as a boundary of
+  /// dictionary class `cls`. A plain ByteSink collects no marks, so state
+  /// encoders call this unconditionally at no cost; a ComponentSink records
+  /// the boundary for COLLAPSE compression.
+  void boundary(std::uint8_t cls = 0) {
+    if (marks_) marks_->push_back({static_cast<std::uint32_t>(buf_.size()), cls});
+  }
+
   /// LEB128-style variable-length encoding; most state fields are tiny.
   void varint(std::uint64_t v) {
     while (v >= 0x80) {
@@ -53,10 +84,32 @@ class ByteSink {
   [[nodiscard]] std::span<const std::byte> bytes() const { return buf_; }
   [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
-  void clear() { buf_.clear(); }
+  void clear() {
+    buf_.clear();
+    if (marks_) marks_->clear();  // marks index into the cleared buffer
+  }
+
+ protected:
+  std::vector<ComponentMark>* marks_ = nullptr;  // null: boundaries ignored
 
  private:
   std::vector<std::byte> buf_;
+};
+
+/// ByteSink that records the component boundaries emitted by a state
+/// encoder. The checkers feed bytes() + marks() to the visited set; under
+/// CompressionMode::Collapse each [previous mark, mark.end) slice is interned
+/// in its class dictionary and only the index tuple is pooled.
+class ComponentSink : public ByteSink {
+ public:
+  ComponentSink() { marks_ = &marks_store_; }
+
+  [[nodiscard]] std::span<const ComponentMark> marks() const {
+    return marks_store_;
+  }
+
+ private:
+  std::vector<ComponentMark> marks_store_;
 };
 
 class ByteSource {

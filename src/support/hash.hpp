@@ -42,6 +42,7 @@ inline std::uint64_t hash_bytes(std::span<const std::byte> data,
   constexpr std::uint64_t k1 = 0xe7037ed1a0b428dbull;
   const std::byte* p = data.data();
   std::size_t n = data.size();
+  const std::uint64_t len = n;
   std::uint64_t h = seed ^ detail::mix64(static_cast<std::uint64_t>(n), k0);
   while (n >= 16) {
     h = detail::mix64(detail::load64(p) ^ k0, detail::load64(p + 8) ^ h);
@@ -65,7 +66,12 @@ inline std::uint64_t hash_bytes(std::span<const std::byte> data,
     --n;
   }
   h = detail::mix64(a ^ k1, b ^ h);
-  return detail::mix64(h, h ^ k1);
+  // Length-mix the finalizer. Inputs of 1-4 bytes (collapse-compression
+  // component keys are mostly this short) reach here having touched only the
+  // tail multiply; folding the length in once more decorrelates same-value
+  // prefixes of different lengths and breaks up low-bit clustering that an
+  // open-addressing table would otherwise inherit.
+  return detail::mix64(h ^ len, h ^ k1);
 }
 
 /// Combine two 64-bit hashes (order-sensitive).

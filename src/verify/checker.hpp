@@ -22,6 +22,7 @@
 
 #include "sem/label.hpp"
 #include "support/bytes.hpp"
+#include "verify/collapse.hpp"
 #include "verify/por.hpp"
 #include "verify/state_set.hpp"
 #include "verify/symmetry.hpp"
@@ -52,6 +53,12 @@ struct CheckResult {
   std::size_t states = 0;       // distinct states stored
   std::size_t transitions = 0;  // edges traversed
   std::size_t memory_bytes = 0;
+  /// Bytes spent storing states: index-tuple pool plus dictionary footprint
+  /// under CompressionMode::Collapse, the raw pool otherwise.
+  std::size_t pool_bytes = 0;
+  /// Summed raw encoding sizes of the stored states — what the pool would
+  /// hold uncompressed. pool_bytes/raw_pool_bytes is the compression ratio.
+  std::size_t raw_pool_bytes = 0;
   double seconds = 0;
   std::string violation;           // message for violated invariant
   std::string note;                // engine notes (e.g. a POR downgrade)
@@ -81,6 +88,13 @@ struct CheckOptions {
   /// reduction to Off (recorded in CheckResult::note): a reduced search
   /// checks them only on the reduced graph's states/edges.
   PorMode por = PorMode::Off;
+  /// Collapse interns state components (home, remotes, channels) in
+  /// per-class dictionaries and pools only index tuples (collapse.hpp).
+  /// Verdicts and state/transition counts are unchanged; pool bytes shrink.
+  CompressionMode compress = CompressionMode::Off;
+  /// Pre-size the visited set's hash table for this many states (0: grow on
+  /// demand). The charge is taken up front, capped at half the budget.
+  std::size_t expected_states = 0;
 };
 
 namespace detail {
@@ -225,16 +239,22 @@ std::vector<std::string> replay_chain(
 }
 
 /// Recompute the label sequence root -> `target` by replaying successor
-/// enumeration along the BFS parent chain.
+/// enumeration along the BFS parent chain. The chain copies each state's
+/// bytes: under Collapse, seen.at() re-expands into a scratch buffer that
+/// the next at() overwrites, so spans cannot be held across the walk.
 template <class Sys>
-std::vector<std::string> rebuild_trace(const Sys& sys, const StateSet& seen,
+std::vector<std::string> rebuild_trace(const Sys& sys,
+                                       const CollapsedStateSet& seen,
                                        const std::vector<std::uint32_t>& parent,
                                        std::uint32_t target,
                                        SymmetryMode symmetry) {
-  std::vector<std::span<const std::byte>> chain;
-  for (std::uint32_t at = target; at != 0xffffffffu; at = parent[at])
-    chain.push_back(seen.at(at));
-  std::reverse(chain.begin(), chain.end());
+  std::vector<std::vector<std::byte>> owned;
+  for (std::uint32_t at = target; at != 0xffffffffu; at = parent[at]) {
+    auto b = seen.at(at);
+    owned.emplace_back(b.begin(), b.end());
+  }
+  std::reverse(owned.begin(), owned.end());
+  std::vector<std::span<const std::byte>> chain(owned.begin(), owned.end());
   return replay_chain(sys, chain, symmetry);
 }
 
@@ -271,16 +291,16 @@ enum class BfsOutcome : std::uint8_t {
 /// remotes whose moves an observer can see (LTL atoms); their candidates are
 /// never selected (C2).
 template <class Sys, class OnExpand, class OnEdge, class OnInsert>
-BfsOutcome bfs_reach(const Sys& sys, StateSet& seen, SymmetryMode symmetry,
-                     sem::LabelMode mode, PorMode por,
+BfsOutcome bfs_reach(const Sys& sys, CollapsedStateSet& seen,
+                     SymmetryMode symmetry, sem::LabelMode mode, PorMode por,
                      std::uint64_t por_visible, OnExpand&& on_expand,
                      OnEdge&& on_edge, OnInsert&& on_insert) {
-  ByteSink sink;  // reused across every encode below
+  ComponentSink sink;  // reused across every encode below
   {
     auto root = sys.initial();
     maybe_canonicalize(sys, root, symmetry);
     sys.encode(root, sink);
-    auto ins = seen.insert(sink.bytes());
+    auto ins = seen.insert(sink.bytes(), sink.marks());
     if (ins.outcome == StateSet::Outcome::Exhausted)
       return BfsOutcome::Exhausted;
     CCREF_ASSERT(ins.outcome == StateSet::Outcome::Inserted);
@@ -295,7 +315,7 @@ BfsOutcome bfs_reach(const Sys& sys, StateSet& seen, SymmetryMode symmetry,
       maybe_canonicalize(sys, succ, symmetry);
       sink.clear();
       sys.encode(succ, sink);
-      auto ins = seen.insert(sink.bytes());
+      auto ins = seen.insert(sink.bytes(), sink.marks());
       if (ins.outcome == StateSet::Outcome::Exhausted)
         return BfsOutcome::Exhausted;
       if (ins.outcome == StateSet::Outcome::AlreadyPresent) revisit = true;
@@ -347,13 +367,16 @@ template <class Sys>
                                   const CheckOptions<Sys>& opts = {}) {
   auto t0 = std::chrono::steady_clock::now();
   CheckResult result;
-  StateSet seen(opts.memory_limit);
+  CollapsedStateSet seen(opts.memory_limit, opts.compress,
+                         opts.expected_states);
   std::vector<std::uint32_t> parent;
 
   auto finish = [&](Status status) {
     result.status = status;
     result.states = seen.size();
     result.memory_bytes = seen.memory_used();
+    result.pool_bytes = seen.stored_bytes();
+    result.raw_pool_bytes = seen.raw_bytes();
     result.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();

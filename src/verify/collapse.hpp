@@ -1,0 +1,231 @@
+// COLLAPSE-style state-vector compression (SPIN's -DCOLLAPSE, Holzmann
+// 1997) — the answer to Table 3's "limited to 64MB of memory" wall.
+//
+// A global state of the star protocols is a tuple of near-independent
+// components: the home machine, each of the n identical remote machines,
+// and each per-remote FIFO channel. Across the reachable set these
+// components repeat massively (the remotes are the *same* process, so at
+// any time most of them sit in one of a handful of local configurations),
+// which means the flat byte encodings the StateSet pools are dominated by
+// repeated substrings. Under CompressionMode::Collapse each component is
+// interned once in a per-class dictionary and the pooled "state" becomes the
+// tuple of dictionary indices.
+//
+// Layout:
+//   * State encoders (AsyncSystem/RendezvousSystem/liveness product) call
+//     ByteSink::boundary(cls) after each component; a ComponentSink collects
+//     the (offset, class) marks, a plain ByteSink ignores them.
+//   * Dictionary classes group components that draw from the same value
+//     space — all remote machines share one dictionary, all up channels
+//     another — so n identical remotes saturate one small table instead of
+//     n disjoint ones.
+//   * Each dictionary is itself a StateSet (open addressing, stable indices,
+//     budget-charged), drawing on the same MemoryBudget as the tuple pool:
+//     the 64 MB cap bounds pool + dictionaries + tables together.
+//   * The pooled tuple is the concatenation of the per-component dictionary
+//     indices in varint coding. Varint is canonical per value and a prefix
+//     code, so for a fixed component structure (checked per insert) two
+//     tuples are byte-equal iff every component index matches iff every
+//     component's bytes match iff the raw encodings match: index-tuple
+//     equality is exactly state equality, and dedupe/hashing work unchanged
+//     on the compressed form. (SPIN stores fixed-width indices; varint keeps
+//     the common all-dictionaries-small case 2-3x smaller still.)
+//   * at() transparently re-expands the tuple through the dictionaries, so
+//     decode/trace reconstruction see the original raw encoding. The
+//     expansion lives in a scratch buffer: a returned span is valid only
+//     until the next at() call — callers that need several states at once
+//     (trace rebuilds) copy.
+//
+// CompressionMode::Off makes this a zero-cost passthrough to the inner
+// StateSet — bit-identical behavior and accounting to the uncompressed
+// engines.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "verify/state_set.hpp"
+
+namespace ccref::verify {
+
+enum class CompressionMode : std::uint8_t {
+  Off,       // pool raw byte encodings (bit-identical to prior results)
+  Collapse,  // intern components per class, pool varint index tuples
+};
+
+[[nodiscard]] constexpr const char* to_string(CompressionMode m) {
+  switch (m) {
+    case CompressionMode::Off: return "off";
+    case CompressionMode::Collapse: return "collapse";
+  }
+  return "?";
+}
+
+/// Parse a `--compress` flag value; nullopt on anything unknown.
+[[nodiscard]] inline std::optional<CompressionMode> parse_compression(
+    std::string_view text) {
+  if (text == "off") return CompressionMode::Off;
+  if (text == "collapse") return CompressionMode::Collapse;
+  return std::nullopt;
+}
+
+class CollapsedStateSet {
+ public:
+  using Outcome = StateSet::Outcome;
+  using InsertResult = StateSet::InsertResult;
+
+  explicit CollapsedStateSet(std::size_t memory_limit_bytes,
+                             CompressionMode mode = CompressionMode::Off,
+                             std::size_t expected_states = 0)
+      : owned_(std::make_unique<MemoryBudget>(memory_limit_bytes)),
+        budget_(owned_.get()),
+        mode_(mode),
+        tuples_(*budget_, expected_states) {}
+
+  /// Shard constructor: draw on a budget shared with sibling sets (the
+  /// caller keeps `budget` alive). Dictionaries are then per-shard too —
+  /// canonical encodings hash to one shard, so sibling dictionaries never
+  /// need to agree on indices.
+  CollapsedStateSet(MemoryBudget& budget, CompressionMode mode,
+                    std::size_t expected_states = 0)
+      : budget_(&budget), mode_(mode), tuples_(budget, expected_states) {}
+
+  [[nodiscard]] InsertResult insert(std::span<const std::byte> state,
+                                    std::span<const ComponentMark> marks = {}) {
+    if (mode_ == CompressionMode::Off) {
+      auto r = tuples_.insert(state);
+      if (r.outcome == Outcome::Inserted) raw_bytes_ += state.size();
+      return r;
+    }
+    return insert_collapsed(state, marks);
+  }
+
+  /// Insert with a precomputed hash of the RAW encoding (the sharded set
+  /// hashes once to pick the shard). Off mode reuses it for the table;
+  /// Collapse hashes the index tuple itself, since that is what the inner
+  /// table stores and compares.
+  [[nodiscard]] InsertResult insert(std::span<const std::byte> state,
+                                    std::span<const ComponentMark> marks,
+                                    std::uint64_t raw_hash) {
+    if (mode_ == CompressionMode::Off) {
+      auto r = tuples_.insert(state, raw_hash);
+      if (r.outcome == Outcome::Inserted) raw_bytes_ += state.size();
+      return r;
+    }
+    return insert_collapsed(state, marks);
+  }
+
+  /// Raw encoding of a stored state. Off: a stable span into the pool.
+  /// Collapse: the tuple re-expanded through the dictionaries into a scratch
+  /// buffer — valid only until the next at() call on this set.
+  [[nodiscard]] std::span<const std::byte> at(std::uint32_t index) const {
+    if (mode_ == CompressionMode::Off) return tuples_.at(index);
+    ByteSource src(tuples_.at(index));
+    scratch_.clear();
+    for (std::uint8_t cls : structure_) {
+      auto comp = dicts_[cls]->at(static_cast<std::uint32_t>(src.varint()));
+      scratch_.insert(scratch_.end(), comp.begin(), comp.end());
+    }
+    CCREF_ASSERT(src.exhausted());
+    return scratch_;
+  }
+
+  [[nodiscard]] std::uint64_t hash_at(std::uint32_t index) const {
+    return tuples_.hash_at(index);
+  }
+
+  [[nodiscard]] std::size_t size() const { return tuples_.size(); }
+
+  [[nodiscard]] std::size_t memory_used() const {
+    std::size_t total = tuples_.memory_used();
+    for (const auto& d : dicts_)
+      if (d) total += d->memory_used();
+    return total;
+  }
+
+  [[nodiscard]] std::size_t memory_limit() const { return budget_->limit(); }
+
+  [[nodiscard]] MemoryBudget& budget() { return *budget_; }
+
+  [[nodiscard]] CompressionMode mode() const { return mode_; }
+
+  /// Bytes the pool would hold uncompressed: the summed raw encoding sizes
+  /// of every stored state (Off: exactly pool_bytes()).
+  [[nodiscard]] std::size_t raw_bytes() const { return raw_bytes_; }
+
+  /// Bytes actually spent storing states: tuple pool plus the complete
+  /// dictionary footprint (entries and tables included — the honest side of
+  /// the raw_bytes() comparison).
+  [[nodiscard]] std::size_t stored_bytes() const {
+    std::size_t total = tuples_.pool_bytes();
+    for (const auto& d : dicts_)
+      if (d) total += d->memory_used();
+    return total;
+  }
+
+ private:
+  // 16 classes cover every encoder (async uses 4, the liveness product one
+  // more); dictionaries are created on first use.
+  static constexpr std::size_t kMaxClasses = 16;
+  // Dictionaries hold few distinct entries until a protocol is large;
+  // starting at 64 slots keeps K shards x C classes of idle tables cheap.
+  static constexpr std::size_t kDictSlots = 64;
+
+  [[nodiscard]] InsertResult insert_collapsed(
+      std::span<const std::byte> state,
+      std::span<const ComponentMark> marks) {
+    // Slice into components: [previous end, mark.end) per mark, plus an
+    // implicit trailing class-0 component for anything after the last mark
+    // (systems without boundary emission collapse whole-state; still sound,
+    // just ratio 1).
+    tuple_.clear();
+    std::size_t start = 0;
+    std::size_t slot = 0;
+    auto one = [&](std::size_t end, std::uint8_t cls) {
+      CCREF_REQUIRE(cls < kMaxClasses && start <= end && end <= state.size());
+      // The component structure (count and classes) must be a constant of
+      // the system, never state-dependent: index-tuple equality only mirrors
+      // state equality when slot k always draws from the same dictionary.
+      if (slot == structure_.size())
+        structure_.push_back(cls);
+      else
+        CCREF_REQUIRE(structure_[slot] == cls);
+      if (cls >= dicts_.size()) dicts_.resize(cls + 1);
+      if (!dicts_[cls])
+        dicts_[cls] = std::make_unique<StateSet>(*budget_, 0, kDictSlots);
+      auto r = dicts_[cls]->insert(state.subspan(start, end - start));
+      if (r.outcome == Outcome::Exhausted) return false;
+      // An interned component of a state whose insert later exhausts stays
+      // in its dictionary: it is a valid (likely reusable) entry, and the
+      // dictionary's own accounting already reconciled it.
+      tuple_.varint(r.index);
+      start = end;
+      ++slot;
+      return true;
+    };
+    for (const ComponentMark& m : marks)
+      if (!one(m.end, m.cls)) return {Outcome::Exhausted, 0};
+    if (start < state.size() || slot == 0)
+      if (!one(state.size(), 0)) return {Outcome::Exhausted, 0};
+    CCREF_REQUIRE(slot == structure_.size());
+
+    auto r = tuples_.insert(tuple_.bytes());
+    if (r.outcome == Outcome::Inserted) raw_bytes_ += state.size();
+    return r;
+  }
+
+  std::unique_ptr<MemoryBudget> owned_;  // null when the budget is shared
+  MemoryBudget* budget_;
+  CompressionMode mode_;
+  StateSet tuples_;  // Off: raw encodings; Collapse: varint index tuples
+  std::vector<std::unique_ptr<StateSet>> dicts_;  // indexed by class
+  std::vector<std::uint8_t> structure_;  // class of each tuple slot
+  std::size_t raw_bytes_ = 0;
+  ByteSink tuple_;  // reused per insert
+  mutable std::vector<std::byte> scratch_;  // at() expansion buffer
+};
+
+}  // namespace ccref::verify

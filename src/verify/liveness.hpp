@@ -90,6 +90,12 @@ struct LivenessOptions {
   /// ~0 — everything visible — makes Ample a no-op; ltl/check.hpp computes
   /// the real mask from the bound atoms.
   std::uint64_t por_visible = ~0ull;
+  /// COLLAPSE component interning over product states (collapse.hpp): the
+  /// automaton prefix becomes its own component, the system components keep
+  /// their classes. Verdict-neutral.
+  CompressionMode compress = CompressionMode::Off;
+  /// Pre-size the product visited set (0: grow on demand).
+  std::size_t expected_states = 0;
   bool want_trace = true;
 };
 
@@ -251,7 +257,8 @@ template <class Sys>
     return -1;
   };
 
-  StateSet seen(opts.memory_limit);
+  CollapsedStateSet seen(opts.memory_limit, opts.compress,
+                         opts.expected_states);
   std::vector<std::uint32_t> parent;         // first-discovery BFS parent
   std::vector<std::uint32_t> aut_of;         // automaton component per state
   std::vector<std::uint64_t> grant_enabled;  // Streett E_i bits per state
@@ -294,13 +301,18 @@ template <class Sys>
     return v;
   };
 
-  ByteSink sink;
+  // The automaton component gets dictionary class 4 (the system encoders use
+  // 0-3); the system components carry their own classes across via the
+  // mark-shifting raw() overload.
+  constexpr std::uint8_t kCompAutomaton = 4;
+  ComponentSink sink;
   {
     auto root = sys.initial();
     detail::maybe_canonicalize(sys, root, symmetry);
     sink.u32(0);  // automaton initial pseudo-state
+    sink.boundary(kCompAutomaton);
     sys.encode(root, sink);
-    auto ins = seen.insert(sink.bytes());
+    auto ins = seen.insert(sink.bytes(), sink.marks());
     if (ins.outcome == StateSet::Outcome::Exhausted)
       return finish(Status::Unfinished);
     parent.push_back(0xffffffffu);
@@ -309,7 +321,7 @@ template <class Sys>
   }
 
   // ---- product BFS -------------------------------------------------------
-  std::vector<std::byte> sys_bytes;  // reused per-system-edge encoding
+  ComponentSink enc;  // reused per-system-edge encoding
   for (std::uint32_t cursor = 0; cursor < seen.size(); ++cursor) {
     edge_start.push_back(edges.size());
     const std::uint32_t q = aut_of[cursor];
@@ -357,13 +369,15 @@ template <class Sys>
     bool revisit = false;  // an ample product successor was already visited
     auto push_product = [&](std::uint64_t v,
                             std::span<const std::byte> system_enc,
+                            std::span<const ComponentMark> system_marks,
                             std::uint64_t fair, std::int8_t granted) {
       for (std::uint32_t q2 : aut.succ[q]) {
         if (!aut.admits(q2, v)) continue;
         sink.clear();
         sink.u32(q2);
-        sink.raw(system_enc);
-        auto ins = seen.insert(sink.bytes());
+        sink.boundary(kCompAutomaton);
+        sink.raw(system_enc, system_marks);
+        auto ins = seen.insert(sink.bytes(), sink.marks());
         if (ins.outcome == StateSet::Outcome::Exhausted) return false;
         if (ins.outcome == StateSet::Outcome::Inserted) {
           parent.push_back(cursor);
@@ -382,14 +396,17 @@ template <class Sys>
       // Deadlock: stutter-extend with an invisible self-step so the LTL
       // semantics stays over infinite words. Nothing is enabled, so every
       // weak-fairness constraint is vacuously satisfied on this edge.
+      // Re-encode the decoded state rather than slicing the stored bytes:
+      // encoding is canonical, this regenerates the component marks, and it
+      // cannot alias the visited set's pool (or, under Collapse, the at()
+      // scratch buffer that push_product's insert would invalidate).
       sem::Label stutter;
       std::uint64_t v = valuation(state, stutter);
-      auto stored = seen.at(cursor);
-      sys_bytes.assign(stored.begin() + 4, stored.end());
-      if (!push_product(v, sys_bytes, procs_mask, -1))
+      enc.clear();
+      sys.encode(state, enc);
+      if (!push_product(v, enc.bytes(), enc.marks(), procs_mask, -1))
         return finish(Status::Unfinished);
     } else {
-      ByteSink enc;  // reused per system edge
       auto emit = [&](std::size_t e) {
         auto& [succ, label] = succs[e];
         // Valuation on the concrete successor (symmetric atoms are orbit-
@@ -406,7 +423,7 @@ template <class Sys>
         detail::maybe_canonicalize(sys, succ, symmetry);
         enc.clear();
         sys.encode(succ, enc);
-        return push_product(v, enc.bytes(), fair, granted);
+        return push_product(v, enc.bytes(), enc.marks(), fair, granted);
       };
       if (have_amp) {
         if (!emit(amp_delivery)) return finish(Status::Unfinished);

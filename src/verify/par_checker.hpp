@@ -36,14 +36,18 @@ std::vector<std::string> rebuild_trace_sharded(const Sys& sys,
                                                const ShardedStateSet& seen,
                                                ShardedStateSet::Ref target,
                                                SymmetryMode symmetry) {
-  std::vector<std::span<const std::byte>> chain;
+  // Copy each state's bytes: under Collapse, seen.at() re-expands into a
+  // per-shard scratch buffer that the next at() on that shard overwrites.
+  std::vector<std::vector<std::byte>> owned;
   for (std::uint64_t at = ShardedStateSet::pack(target);
        at != ShardedStateSet::kNoParent;) {
     auto r = ShardedStateSet::unpack(at);
-    chain.push_back(seen.at(r));
+    auto b = seen.at(r);
+    owned.emplace_back(b.begin(), b.end());
     at = seen.parent_of(r);
   }
-  std::reverse(chain.begin(), chain.end());
+  std::reverse(owned.begin(), owned.end());
+  std::vector<std::span<const std::byte>> chain(owned.begin(), owned.end());
   return replay_chain(sys, chain, symmetry);
 }
 
@@ -76,7 +80,8 @@ template <class Sys>
         "reachable state and edge";
   }
   ShardedStateSet seen(opts.memory_limit, shards,
-                       /*track_parents=*/opts.want_trace);
+                       /*track_parents=*/opts.want_trace, opts.compress,
+                       opts.expected_states);
 
   // A frontier item carries its own copy of the encoded state: shard pools
   // reallocate under concurrent insertion, so spans into them are only safe
@@ -89,7 +94,7 @@ template <class Sys>
     std::mutex mu;
     std::deque<Item> frontier;
     std::uint64_t transitions = 0;
-    ByteSink sink;  // reused for every encode this worker performs
+    ComponentSink sink;  // reused for every encode this worker performs
   };
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(jobs);
@@ -121,11 +126,11 @@ template <class Sys>
   };
 
   {
-    ByteSink sink;
+    ComponentSink sink;
     auto root = sys.initial();
     detail::maybe_canonicalize(sys, root, opts.symmetry);
     sys.encode(root, sink);
-    auto ins = seen.insert(sink.bytes());
+    auto ins = seen.insert(sink.bytes(), sink.marks());
     CCREF_ASSERT(ins.outcome == StateSet::Outcome::Inserted);
     std::string msg = opts.invariant ? opts.invariant(root) : std::string();
     if (!msg.empty()) {
@@ -187,8 +192,8 @@ template <class Sys>
         detail::maybe_canonicalize(sys, succ, opts.symmetry);
         self.sink.clear();
         sys.encode(succ, self.sink);
-        auto ins =
-            seen.insert(self.sink.bytes(), ShardedStateSet::pack(item.ref));
+        auto ins = seen.insert(self.sink.bytes(), self.sink.marks(),
+                               ShardedStateSet::pack(item.ref));
         if (ins.outcome == StateSet::Outcome::Exhausted) {
           report(Status::Unfinished, {}, std::string());
           return false;
@@ -267,6 +272,8 @@ template <class Sys>
   result.status = failed ? fail_status : Status::Ok;
   result.states = seen.size();
   result.memory_bytes = seen.memory_used();
+  result.pool_bytes = seen.stored_bytes();
+  result.raw_pool_bytes = seen.raw_bytes();
   for (const auto& w : workers) result.transitions += w->transitions;
   if (failed) {
     result.violation = std::move(fail_msg);

@@ -37,6 +37,10 @@ struct ProgressOptions {
   /// reachable in the full graph stays reachable in the reduced one (no
   /// missed doomed states). Reported counts are reduced-graph quantities.
   PorMode por = PorMode::Off;
+  /// COLLAPSE component interning (collapse.hpp); verdict-neutral.
+  CompressionMode compress = CompressionMode::Off;
+  /// Pre-size the visited set for this many states (0: grow on demand).
+  std::size_t expected_states = 0;
 };
 
 struct ProgressResult {
@@ -55,7 +59,8 @@ template <class Sys>
                                             const ProgressOptions& opts = {}) {
   auto t0 = std::chrono::steady_clock::now();
   ProgressResult result;
-  StateSet seen(opts.memory_limit);
+  CollapsedStateSet seen(opts.memory_limit, opts.compress,
+                         opts.expected_states);
   // Reverse adjacency + per-state "has a completing out-edge" seed flag.
   std::vector<std::vector<std::uint32_t>> rev;
   std::vector<std::uint8_t> seed;

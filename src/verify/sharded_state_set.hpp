@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "verify/collapse.hpp"
 #include "verify/state_set.hpp"
 
 namespace ccref::verify {
@@ -56,9 +57,15 @@ class ShardedStateSet {
 
   /// `shard_count` is rounded up to a power of two and clamped to
   /// [1, kMaxShards]. `track_parents` reserves one packed Ref per state for
-  /// trace reconstruction.
+  /// trace reconstruction. Under CompressionMode::Collapse each shard keeps
+  /// its own dictionaries — shard choice hashes the raw (canonical)
+  /// encoding, so equal states land in one shard and never need sibling
+  /// dictionaries to agree on indices. `expected_states` is split evenly
+  /// across shards to pre-size their tables.
   ShardedStateSet(std::size_t memory_limit_bytes, unsigned shard_count,
-                  bool track_parents = false)
+                  bool track_parents = false,
+                  CompressionMode mode = CompressionMode::Off,
+                  std::size_t expected_states = 0)
       : budget_(memory_limit_bytes), track_parents_(track_parents) {
     unsigned n = 1;
     while (n < shard_count && n < kMaxShards) n <<= 1;
@@ -66,20 +73,23 @@ class ShardedStateSet {
     for (unsigned v = n; v > 1; v >>= 1) ++shard_bits_;
     shards_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
-      shards_.push_back(std::make_unique<Shard>(budget_));
+      shards_.push_back(std::make_unique<Shard>(budget_, mode,
+                                                expected_states / n));
   }
 
   /// Thread-safe insert; `parent` is recorded for fresh states when parent
   /// tracking is on (pass pack(ref) of the BFS predecessor, kNoParent for
-  /// the root).
+  /// the root). `marks` carries the component boundaries of `state` (from a
+  /// ComponentSink); ignored in Off mode.
   [[nodiscard]] InsertResult insert(std::span<const std::byte> state,
+                                    std::span<const ComponentMark> marks = {},
                                     std::uint64_t parent = kNoParent) {
     const std::uint64_t h = hash_bytes(state);
     const auto si = static_cast<std::uint32_t>(
         shard_bits_ == 0 ? 0 : h >> (64 - shard_bits_));
     Shard& sh = *shards_[si];
     std::lock_guard<std::mutex> lock(sh.mu);
-    auto r = sh.set.insert(state, h);
+    auto r = sh.set.insert(state, marks, h);
     if (r.outcome == Outcome::Inserted && track_parents_)
       sh.parents.push_back(parent);
     return {r.outcome, {si, r.index}};
@@ -109,17 +119,34 @@ class ShardedStateSet {
     return static_cast<unsigned>(shards_.size());
   }
   /// Quiescent-only access to one shard's set (post-run iteration).
-  [[nodiscard]] const StateSet& shard(unsigned i) const {
+  [[nodiscard]] const CollapsedStateSet& shard(unsigned i) const {
     return shards_[i]->set;
+  }
+
+  /// Quiescent-only: summed raw encoding bytes of all stored states.
+  [[nodiscard]] std::size_t raw_bytes() const {
+    std::size_t total = 0;
+    for (const auto& sh : shards_) total += sh->set.raw_bytes();
+    return total;
+  }
+
+  /// Quiescent-only: bytes actually spent storing states (pools plus
+  /// dictionary footprints) across shards.
+  [[nodiscard]] std::size_t stored_bytes() const {
+    std::size_t total = 0;
+    for (const auto& sh : shards_) total += sh->set.stored_bytes();
+    return total;
   }
 
  private:
   static constexpr unsigned kMaxShards = 256;
 
   struct Shard {
-    explicit Shard(MemoryBudget& budget) : set(budget) {}
+    Shard(MemoryBudget& budget, CompressionMode mode,
+          std::size_t expected_states)
+        : set(budget, mode, expected_states) {}
     std::mutex mu;
-    StateSet set;
+    CollapsedStateSet set;
     std::vector<std::uint64_t> parents;
   };
 

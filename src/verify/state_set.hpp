@@ -39,15 +39,28 @@ class StateSet {
     std::uint32_t index;  // valid unless Exhausted
   };
 
-  explicit StateSet(std::size_t memory_limit_bytes)
+  /// `expected_states` pre-sizes the table for that many entries at the 0.7
+  /// load factor, charged to the budget up front — a correct hint on a large
+  /// run replaces log2(states/1024) rehash storms (each of which briefly
+  /// holds two tables) with one charge at construction. 0 keeps the default
+  /// 1024-slot table; the hint is capped so it can never pre-spend more than
+  /// half the budget on slots.
+  explicit StateSet(std::size_t memory_limit_bytes,
+                    std::size_t expected_states = 0)
       : owned_(std::make_unique<MemoryBudget>(memory_limit_bytes)),
         budget_(owned_.get()) {
-    init_table();
+    init_table(expected_states, kInitialSlots);
   }
 
   /// Shard constructor: draw on a budget shared with sibling sets. The
-  /// caller keeps `budget` alive for the set's lifetime.
-  explicit StateSet(MemoryBudget& budget) : budget_(&budget) { init_table(); }
+  /// caller keeps `budget` alive for the set's lifetime. `min_slots` (a
+  /// power of two) lets small auxiliary sets — collapse-compression
+  /// dictionaries — start below the default 1024 slots.
+  explicit StateSet(MemoryBudget& budget, std::size_t expected_states = 0,
+                    std::size_t min_slots = kInitialSlots)
+      : budget_(&budget) {
+    init_table(expected_states, min_slots);
+  }
 
   [[nodiscard]] InsertResult insert(std::span<const std::byte> state) {
     return insert(state, hash_bytes(state));
@@ -123,6 +136,11 @@ class StateSet {
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+  /// Bytes of state payload actually stored (the raw-vs-collapsed
+  /// compression comparisons are about this quantity, not the table/index
+  /// overhead that memory_used() also charges).
+  [[nodiscard]] std::size_t pool_bytes() const { return pool_.size(); }
+
   [[nodiscard]] std::size_t memory_used() const {
     return pool_.capacity() + entries_.capacity() * sizeof(Entry) +
            table_.capacity() * sizeof(std::uint32_t);
@@ -145,8 +163,15 @@ class StateSet {
   /// Charge the initial table to the budget immediately. An idle shard on a
   /// shared budget still holds its table; deferring the charge to the first
   /// insert would let budget().used() drift below the memory actually held.
-  void init_table() {
-    table_.resize(kInitialSlots, kEmpty);
+  /// The expected-states hint is honored up to half the budget: a wild hint
+  /// must degrade into ordinary growth, not immediate exhaustion.
+  void init_table(std::size_t expected_states, std::size_t min_slots) {
+    std::size_t slots = min_slots;
+    while (slots * 7 < expected_states * 10) slots *= 2;
+    while (slots > min_slots &&
+           slots * sizeof(std::uint32_t) > budget_->limit() / 2)
+      slots /= 2;
+    table_.resize(slots, kEmpty);
     reconcile();
   }
 

@@ -125,6 +125,63 @@ TEST(StateSet, MemoryNeverExceedsLimitUnderRandomInserts) {
   }
 }
 
+// ---- expected-states hint ----------------------------------------------------
+
+TEST(StateSet, ExpectedStatesHintPreChargesTable) {
+  // expected=100000 at the 0.7 load factor needs 262144 slots; the charge
+  // lands at construction, before any insert.
+  StateSet hinted(64u << 20, /*expected_states=*/100000);
+  StateSet plain(64u << 20);
+  EXPECT_GE(hinted.memory_used(), 262144 * sizeof(std::uint32_t));
+  EXPECT_GT(hinted.memory_used(), plain.memory_used());
+  EXPECT_EQ(hinted.budget().used(), hinted.memory_used());
+
+  // The hint is invisible to semantics: same inserts, same indices.
+  for (std::uint64_t id = 0; id < 2000; ++id) {
+    auto a = hinted.insert(state_bytes(id));
+    auto b = plain.insert(state_bytes(id));
+    ASSERT_EQ(a.outcome, StateSet::Outcome::Inserted);
+    ASSERT_EQ(b.outcome, StateSet::Outcome::Inserted);
+    ASSERT_EQ(a.index, b.index);
+  }
+}
+
+TEST(StateSet, OversizedHintClampsToHalfBudget) {
+  // A wild hint must degrade into ordinary growth, not eat the whole budget
+  // (or overflow): the pre-charge is capped at limit/2.
+  StateSet set(64u << 10, /*expected_states=*/10'000'000);
+  EXPECT_LE(set.memory_used(), set.memory_limit() / 2);
+  std::size_t inserted = 0;
+  for (std::uint64_t id = 0;; ++id) {
+    auto r = set.insert(state_bytes(id));
+    if (r.outcome == StateSet::Outcome::Exhausted) break;
+    ++inserted;
+    ASSERT_LE(set.memory_used(), set.memory_limit());
+    ASSERT_LT(id, 100000u);
+  }
+  EXPECT_GT(inserted, 100u);
+}
+
+TEST(ShardedStateSet, ExpectedStatesHintSplitsAcrossShards) {
+  // The aggregate hint is divided per shard; each shard's pre-sized table is
+  // charged against the one shared budget up front.
+  ShardedStateSet hinted(8u << 20, 4, /*track_parents=*/false,
+                         verify::CompressionMode::Off,
+                         /*expected_states=*/7000);
+  ShardedStateSet plain(8u << 20, 4);
+  // 7000/4 = 1750 expected per shard -> 4096 slots each (vs. 1024 default).
+  EXPECT_GE(hinted.memory_used(), 4 * 4096 * sizeof(std::uint32_t));
+  EXPECT_GT(hinted.memory_used(), plain.memory_used());
+  for (std::uint64_t id = 0; id < 7000; ++id) {
+    auto a = hinted.insert(state_bytes(id));
+    auto b = plain.insert(state_bytes(id));
+    ASSERT_EQ(a.outcome, ShardedStateSet::Outcome::Inserted);
+    ASSERT_EQ(b.outcome, ShardedStateSet::Outcome::Inserted);
+    ASSERT_EQ(a.ref, b.ref);
+  }
+  EXPECT_EQ(hinted.size(), 7000u);
+}
+
 // ---- the same discipline for the sharded set --------------------------------
 
 TEST(ShardedStateSet, InsertDedupAndRefs) {
@@ -180,11 +237,11 @@ TEST(ShardedStateSet, ParentTracking) {
   ASSERT_EQ(root.outcome, ShardedStateSet::Outcome::Inserted);
   EXPECT_EQ(set.parent_of(root.ref), ShardedStateSet::kNoParent);
   auto child =
-      set.insert(state_bytes(101), ShardedStateSet::pack(root.ref));
+      set.insert(state_bytes(101), {}, ShardedStateSet::pack(root.ref));
   ASSERT_EQ(child.outcome, ShardedStateSet::Outcome::Inserted);
   EXPECT_EQ(ShardedStateSet::unpack(set.parent_of(child.ref)), root.ref);
   // A duplicate insert must NOT overwrite the recorded parent.
-  auto dup = set.insert(state_bytes(101), ShardedStateSet::kNoParent);
+  auto dup = set.insert(state_bytes(101), {}, ShardedStateSet::kNoParent);
   EXPECT_EQ(dup.outcome, ShardedStateSet::Outcome::AlreadyPresent);
   EXPECT_EQ(ShardedStateSet::unpack(set.parent_of(child.ref)), root.ref);
 }

@@ -54,6 +54,61 @@ TEST(Hash, CombineOrderSensitive) {
   EXPECT_NE(hash_combine(0, 0), 0u);
 }
 
+// Collapse-compression dictionary keys are mostly 1-4 bytes; the finalizer
+// must keep such short inputs collision-free and well spread. Enumerates
+// every 1- and 2-byte key plus constrained 3-/4-byte alphabets and demands
+// zero 64-bit collisions across the whole set and a sane low-bit bucket
+// distribution (what an open-addressed table actually indexes by).
+TEST(Hash, ShortInputCollisionRate) {
+  std::set<std::uint64_t> seen;
+  std::vector<std::size_t> buckets(256, 0);
+  std::size_t total = 0;
+  auto feed = [&](std::span<const std::byte> key) {
+    const std::uint64_t h = hash_bytes(key);
+    ASSERT_TRUE(seen.insert(h).second)
+        << "64-bit collision on a " << key.size() << "-byte key";
+    ++buckets[h & 0xff];
+    ++total;
+  };
+  std::byte k[4];
+  for (unsigned a = 0; a < 256; ++a) {
+    k[0] = static_cast<std::byte>(a);
+    feed({k, 1});
+  }
+  for (unsigned a = 0; a < 256; ++a)
+    for (unsigned b = 0; b < 256; ++b) {
+      k[0] = static_cast<std::byte>(a);
+      k[1] = static_cast<std::byte>(b);
+      feed({k, 2});
+    }
+  // 3-byte keys over a 32-symbol alphabet, 4-byte keys over 16 symbols:
+  // 32768 + 65536 more keys without the full 2^24/2^32 blow-up.
+  for (unsigned a = 0; a < 32; ++a)
+    for (unsigned b = 0; b < 32; ++b)
+      for (unsigned c = 0; c < 32; ++c) {
+        k[0] = static_cast<std::byte>(a * 8);
+        k[1] = static_cast<std::byte>(b * 8);
+        k[2] = static_cast<std::byte>(c * 8);
+        feed({k, 3});
+      }
+  for (unsigned a = 0; a < 16; ++a)
+    for (unsigned b = 0; b < 16; ++b)
+      for (unsigned c = 0; c < 16; ++c)
+        for (unsigned d = 0; d < 16; ++d) {
+          k[0] = static_cast<std::byte>(a * 16);
+          k[1] = static_cast<std::byte>(b * 16);
+          k[2] = static_cast<std::byte>(c * 16);
+          k[3] = static_cast<std::byte>(d * 16);
+          feed({k, 4});
+        }
+  // Uniform expectation is total/256 per low-byte bucket; allow 2x skew.
+  const std::size_t expect = total / 256;
+  for (std::size_t i = 0; i < 256; ++i) {
+    EXPECT_GT(buckets[i], expect / 2) << "bucket " << i << " underloaded";
+    EXPECT_LT(buckets[i], expect * 2) << "bucket " << i << " overloaded";
+  }
+}
+
 // ---- NodeSet ---------------------------------------------------------------
 
 TEST(NodeSet, StartsEmpty) {
@@ -207,6 +262,64 @@ TEST(Bytes, CanonicalEncoding) {
   b.varint(1000);
   EXPECT_TRUE(std::equal(a.bytes().begin(), a.bytes().end(),
                          b.bytes().begin(), b.bytes().end()));
+}
+
+TEST(Bytes, PlainSinkIgnoresBoundaries) {
+  ByteSink sink;
+  sink.u32(7);
+  sink.boundary(3);  // no mark store attached: must be a no-op
+  sink.u32(9);
+  EXPECT_EQ(sink.size(), 8u);
+}
+
+TEST(Bytes, ComponentSinkRecordsBoundaries) {
+  ComponentSink sink;
+  sink.u32(7);
+  sink.boundary(0);
+  sink.u16(3);
+  sink.boundary(2);
+  ASSERT_EQ(sink.marks().size(), 2u);
+  EXPECT_EQ(sink.marks()[0].end, 4u);
+  EXPECT_EQ(sink.marks()[0].cls, 0u);
+  EXPECT_EQ(sink.marks()[1].end, 6u);
+  EXPECT_EQ(sink.marks()[1].cls, 2u);
+}
+
+TEST(Bytes, ComponentSinkRawShiftsEmbeddedMarks) {
+  // Encode a fragment with its own marks, then splice it into a larger
+  // encoding after a prefix — embedded mark offsets must shift by the base.
+  ComponentSink inner;
+  inner.u16(1);
+  inner.boundary(1);
+  inner.u8(2);
+  inner.boundary(1);
+
+  ComponentSink outer;
+  outer.u32(0xfeed);
+  outer.boundary(4);
+  outer.raw(inner.bytes(), inner.marks());
+  ASSERT_EQ(outer.marks().size(), 3u);
+  EXPECT_EQ(outer.marks()[0].end, 4u);
+  EXPECT_EQ(outer.marks()[0].cls, 4u);
+  EXPECT_EQ(outer.marks()[1].end, 6u);
+  EXPECT_EQ(outer.marks()[1].cls, 1u);
+  EXPECT_EQ(outer.marks()[2].end, 7u);
+  EXPECT_EQ(outer.marks()[2].cls, 1u);
+  EXPECT_EQ(outer.size(), 7u);
+}
+
+TEST(Bytes, ComponentSinkClearDropsMarks) {
+  ComponentSink sink;
+  sink.u8(1);
+  sink.boundary(0);
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_TRUE(sink.marks().empty());
+  sink.u8(2);
+  sink.boundary(5);
+  ASSERT_EQ(sink.marks().size(), 1u);
+  EXPECT_EQ(sink.marks()[0].end, 1u);
+  EXPECT_EQ(sink.marks()[0].cls, 5u);
 }
 
 // ---- strings ---------------------------------------------------------------
