@@ -48,7 +48,8 @@ std::string cell(const verify::CheckResult& r) {
 
 template <class Sys>
 verify::CheckResult run(const Sys& sys, std::size_t mem, unsigned jobs,
-                        verify::SymmetryMode symmetry, verify::PorMode por,
+                        unsigned shards, verify::SymmetryMode symmetry,
+                        verify::PorMode por,
                         verify::CompressionMode compress,
                         std::size_t expect_states) {
   verify::CheckOptions<Sys> opts;
@@ -59,7 +60,7 @@ verify::CheckResult run(const Sys& sys, std::size_t mem, unsigned jobs,
   opts.compress = compress;
   opts.expected_states = expect_states;
   return jobs <= 1 ? verify::explore(sys, opts)
-                   : verify::par_explore(sys, opts, jobs);
+                   : verify::par_explore(sys, opts, jobs, shards);
 }
 
 /// Bitstate rows reuse the CheckResult shape so the table / JSON code paths
@@ -90,6 +91,9 @@ int main(int argc, char** argv) {
                               "also run N beyond the paper's table");
   auto jobs = static_cast<unsigned>(cli.uint_flag(
       "jobs", 1, 1, 1024, "worker threads (1 = sequential engine)"));
+  auto shards = static_cast<unsigned>(cli.uint_flag(
+      "shards", 0, 0, 256,
+      "visited-set shards for the parallel engine (0: match jobs)"));
   std::string sym_arg = cli.str_flag(
       "symmetry", "off", "symmetry reduction: off | canonical");
   std::string por_arg = cli.str_flag(
@@ -167,12 +171,12 @@ int main(int argc, char** argv) {
     for (int n : ns) {
       auto rv = bitstate
                     ? run_bitstate(sem::RendezvousSystem(p, n), mem, *symmetry)
-                    : run(sem::RendezvousSystem(p, n), mem, jobs, *symmetry,
-                          *por, *compress, expect_states);
+                    : run(sem::RendezvousSystem(p, n), mem, jobs, shards,
+                          *symmetry, *por, *compress, expect_states);
       auto as = bitstate
                     ? run_bitstate(runtime::AsyncSystem(rp, n), mem, *symmetry)
-                    : run(runtime::AsyncSystem(rp, n), mem, jobs, *symmetry,
-                          *por, *compress, expect_states);
+                    : run(runtime::AsyncSystem(rp, n), mem, jobs, shards,
+                          *symmetry, *por, *compress, expect_states);
       record(name, n, "rendezvous", rv);
       record(name, n, "asynchronous", as);
       table.row({name, strf("%d", n),

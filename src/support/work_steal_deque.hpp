@@ -1,0 +1,143 @@
+// Chase–Lev work-stealing deque (SPAA'05), specialized to pointer-like
+// payloads for the parallel checker's frontiers.
+//
+// One owner thread pushes and pops at the bottom (both lock-free, no CAS
+// on the fast path); any other thread steals from the top with a single
+// CAS. The owner and thieves race only on the last element, which the
+// CAS on `top_` arbitrates.
+//
+// Memory-ordering note: the textbook formulation uses standalone
+// memory fences. ThreadSanitizer does not model std::atomic_thread_fence
+// and reports false races through it, so this implementation puts
+// seq_cst on the top_/bottom_ accesses that need StoreLoad ordering
+// instead — marginally slower on weakly-ordered hardware, but TSan can
+// verify every run of it (the TSan CI sweep is part of the acceptance
+// criteria for the lock-free engine).
+//
+// Ring growth: the owner copies the live window into a ring of twice
+// the capacity and publishes it with a release store. Retired rings are
+// kept until destruction because a thief that loaded the old ring
+// pointer may still read a cell from it — the cell it reads is in the
+// copied window and still holds the correct value (cells are never
+// overwritten until `bottom_` laps them, which the capacity check
+// prevents while any un-stolen entry remains).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace ccref {
+
+/// T must be a pointer (or pointer-sized trivially copyable) type;
+/// T{} (null) is the "empty / lost race" sentinel and must never be
+/// pushed.
+template <class T>
+class WorkStealDeque {
+ public:
+  explicit WorkStealDeque(std::size_t initial_capacity = 64) {
+    std::size_t cap = 8;
+    while (cap < initial_capacity) cap <<= 1;
+    active_.store(new Ring(cap), std::memory_order_relaxed);
+  }
+
+  WorkStealDeque(const WorkStealDeque&) = delete;
+  WorkStealDeque& operator=(const WorkStealDeque&) = delete;
+
+  ~WorkStealDeque() { delete active_.load(std::memory_order_relaxed); }
+
+  /// Owner only.
+  void push(T item) {
+    CCREF_REQUIRE(item != T{});
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = active_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(ring->capacity)) ring = grow(t, b);
+    ring->cell(b).store(item, std::memory_order_relaxed);
+    // seq_cst publish: a thief's subsequent bottom_ load both sees the
+    // new count and (via release/acquire) the cell contents.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only. T{} when empty.
+  [[nodiscard]] T pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    // seq_cst StoreLoad: the reservation of slot b must be visible to
+    // thieves before we read top_, or owner and thief could both take
+    // the last element.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // deque was empty; undo the reservation
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return T{};
+    }
+    Ring* ring = active_.load(std::memory_order_relaxed);
+    T item = ring->cell(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race thieves for it via top_.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst))
+        item = T{};  // a thief won
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread. T{} when empty or on a lost race (caller retries or
+  /// moves to the next victim).
+  [[nodiscard]] T steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return T{};
+    Ring* ring = active_.load(std::memory_order_acquire);
+    T item = ring->cell(t).load(std::memory_order_relaxed);
+    // The CAS both claims index t and validates that the cell we read
+    // was not recycled: the owner only overwrites a cell after top_
+    // has moved past it, which would make this CAS fail.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst))
+      return T{};
+    return item;
+  }
+
+  /// Owner only (or quiescent): live element count snapshot.
+  [[nodiscard]] std::size_t size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : capacity(cap), mask(cap - 1), cells(new std::atomic<T>[cap]) {}
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> cells;
+    [[nodiscard]] std::atomic<T>& cell(std::int64_t i) {
+      return cells[static_cast<std::size_t>(i) & mask];
+    }
+  };
+
+  Ring* grow(std::int64_t t, std::int64_t b) {
+    Ring* old = active_.load(std::memory_order_relaxed);
+    auto* fresh = new Ring(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i)
+      fresh->cell(i).store(old->cell(i).load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    active_.store(fresh, std::memory_order_release);
+    // A thief may still hold `old`; retire it until destruction.
+    retired_.emplace_back(old);
+    return fresh;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> active_{nullptr};
+  std::vector<std::unique_ptr<Ring>> retired_;  // owner-only mutation
+};
+
+}  // namespace ccref

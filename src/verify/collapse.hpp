@@ -41,12 +41,18 @@
 // engines.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstring>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string_view>
 #include <vector>
 
+#include "support/atomic_table.hpp"
 #include "support/bytes.hpp"
+#include "support/thread_pool.hpp"
 #include "verify/state_set.hpp"
 
 namespace ccref::verify {
@@ -225,6 +231,438 @@ class CollapsedStateSet {
   std::vector<std::uint8_t> structure_;  // class of each tuple slot
   std::size_t raw_bytes_ = 0;
   ByteSink tuple_;  // reused per insert
+  mutable std::vector<std::byte> scratch_;  // at() expansion buffer
+};
+
+// ---------------------------------------------------------------------------
+// Lock-free concurrent COLLAPSE — the compressed visited set behind the
+// parallel engine's CAS-based shards. Same compression model as
+// CollapsedStateSet above (per-class dictionaries, varint index tuples),
+// re-engineered so the read-mostly dictionary HIT path takes no lock at
+// all: component values recur massively (that is the whole premise of
+// COLLAPSE), so after warm-up nearly every intern() is a lock-free probe.
+// Only a genuine miss — once per distinct component value, ever — takes a
+// short per-dictionary spinlock.
+// ---------------------------------------------------------------------------
+
+/// Component structure registry shared by every shard of a sharded
+/// collapsed set: slot k of every state tuple must always carry the same
+/// dictionary class, or index-tuple equality would stop mirroring state
+/// equality. The sequential set checks this against a private vector;
+/// concurrent shards publish first-seen classes with CAS so ALL shards
+/// (and at()'s re-expansion) agree on one structure.
+class CollapseStructure {
+ public:
+  static constexpr std::size_t kMaxComponents = 512;
+
+  CollapseStructure() {
+    for (auto& c : cls_) c.store(-1, std::memory_order_relaxed);
+  }
+
+  /// Record (or verify) that tuple slot `slot` carries class `cls`.
+  /// False on a structure mismatch — a caller bug, checked by REQUIRE.
+  [[nodiscard]] bool check_or_set(std::size_t slot, std::uint8_t cls) {
+    if (slot >= kMaxComponents) return false;
+    auto want = static_cast<std::int16_t>(cls);
+    std::int16_t cur = cls_[slot].load(std::memory_order_acquire);
+    if (cur == want) return true;
+    if (cur != -1) return false;
+    std::int16_t expected = -1;
+    if (cls_[slot].compare_exchange_strong(expected, want,
+                                           std::memory_order_acq_rel))
+      return true;
+    return expected == want;
+  }
+
+  /// Record (or verify) the component count once a full tuple is sliced.
+  [[nodiscard]] bool seal(std::size_t n) {
+    auto want = static_cast<std::int32_t>(n);
+    std::int32_t cur = count_.load(std::memory_order_acquire);
+    if (cur == want) return true;
+    if (cur != -1) return false;
+    std::int32_t expected = -1;
+    if (count_.compare_exchange_strong(expected, want,
+                                       std::memory_order_acq_rel))
+      return true;
+    return expected == want;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    auto c = count_.load(std::memory_order_acquire);
+    return c < 0 ? 0 : static_cast<std::size_t>(c);
+  }
+  [[nodiscard]] std::uint8_t cls(std::size_t slot) const {
+    return static_cast<std::uint8_t>(cls_[slot].load(std::memory_order_acquire));
+  }
+
+ private:
+  std::array<std::atomic<std::int16_t>, kMaxComponents> cls_;
+  std::atomic<std::int32_t> count_{-1};
+};
+
+/// One per-class intern dictionary: maps component bytes to a dense index
+/// (dense because the varint tuple coding and the compression-ratio
+/// arithmetic depend on small indices). Lookup is lock-free: slot words
+/// pack [dense:32][offset+1:32] and are published with release stores, so
+/// a prober either sees a complete entry or an empty word. The miss path
+/// takes the dictionary's spinlock, re-probes the CURRENT array (the
+/// lock-free probe may have raced a publication or read a retired array),
+/// and inserts. Slot arrays grow under the lock and are retired — not
+/// freed — until destruction, because lock-free probers may still hold
+/// them; a stale probe can only miss, never mis-resolve, and every miss
+/// re-checks under the lock.
+class ConcurrentDict {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+  static constexpr std::size_t kFloorBytes = 64 * sizeof(std::uint64_t);
+
+  ConcurrentDict(MemoryBudget& budget, std::size_t chunk0, bool* alive)
+      : budget_(&budget), pool_(budget, chunk0) {
+    *alive = budget_->try_reserve(kInitialSlots * sizeof(std::uint64_t));
+    if (*alive) {
+      charged_.fetch_add(kInitialSlots * sizeof(std::uint64_t),
+                         std::memory_order_relaxed);
+      slots_.store(new Array(kInitialSlots), std::memory_order_relaxed);
+    }
+  }
+
+  ConcurrentDict(const ConcurrentDict&) = delete;
+  ConcurrentDict& operator=(const ConcurrentDict&) = delete;
+
+  ~ConcurrentDict() { delete slots_.load(std::memory_order_relaxed); }
+
+  /// Dense index of `bytes`, interning on first sight; kNone when the
+  /// budget refuses the entry. `h` = hash_bytes(bytes).
+  [[nodiscard]] std::uint32_t intern(std::span<const std::byte> bytes,
+                                     std::uint64_t h) {
+    Array* arr = slots_.load(std::memory_order_acquire);
+    std::uint32_t dense = lookup(arr, bytes, h);
+    if (dense != kNone) return dense;  // lock-free hit path
+
+    std::lock_guard<SpinLock> guard(lock_);
+    arr = slots_.load(std::memory_order_relaxed);
+    dense = lookup(arr, bytes, h);
+    if (dense != kNone) return dense;  // raced a publication
+
+    // Keep ≤ 70% load so the lock-free probe stays short.
+    if ((size_plain_ + 1) * 10 > arr->count * 7) {
+      if (Array* bigger = grow(arr)) arr = bigger;
+      // Growth refused: keep inserting into the old array up to a hard
+      // 90% cap, past which we give up (probe termination guarantee).
+      else if ((size_plain_ + 1) * 10 >= arr->count * 9)
+        return kNone;
+    }
+
+    const std::uint32_t off = pool_.alloc(sizeof(std::uint32_t) + bytes.size());
+    if (off == decltype(pool_)::kNpos) return kNone;
+    std::byte* p = pool_.data(off);
+    const auto len = static_cast<std::uint32_t>(bytes.size());
+    std::memcpy(p, &len, sizeof(len));
+    if (!bytes.empty())
+      std::memcpy(p + sizeof(len), bytes.data(), bytes.size());
+
+    dense = size_plain_;
+    if (!map_set(dense, off)) return kNone;
+
+    // Publish: find an empty slot in the CURRENT array and release-store
+    // the complete word; lock-free probers see all of it or none of it.
+    const std::uint64_t mask = arr->count - 1;
+    std::size_t slot = h & mask;
+    while (arr->word(slot).load(std::memory_order_relaxed) != 0)
+      slot = (slot + 1) & mask;
+    arr->word(slot).store((std::uint64_t{dense} << 32) | (std::uint64_t{off} + 1),
+                          std::memory_order_release);
+    ++size_plain_;
+    size_.store(size_plain_, std::memory_order_relaxed);
+    return dense;
+  }
+
+  /// Quiescent-only: bytes of entry `dense` (used by at() re-expansion).
+  [[nodiscard]] std::span<const std::byte> at(std::uint32_t dense) const {
+    CCREF_REQUIRE(dense < size_.load(std::memory_order_relaxed));
+    const std::size_t dir = map_dir(dense);
+    const std::uint32_t off = map_[dir][dense - map_base(dir)];
+    const std::byte* p = pool_.data(off);
+    std::uint32_t len = 0;
+    std::memcpy(&len, p, sizeof(len));
+    return {p + sizeof(len), len};
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes charged to the budget (slot arrays incl. retired + pool + map).
+  [[nodiscard]] std::size_t charged() const {
+    return charged_.load(std::memory_order_relaxed) + pool_.charged();
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots =
+      kFloorBytes / sizeof(std::uint64_t);
+  // Dense->offset map in geometrically growing chunks (dir k holds
+  // 64 << k entries), same shape as ChunkedBytePool: a 64-entry floor
+  // keeps idle dictionaries cheap on tiny budgets while 26 dirs cover
+  // the full 32-bit dense space.
+  static constexpr std::size_t kMapChunk0Bits = 6;
+  static constexpr std::size_t kMapDirs = 26;
+
+  [[nodiscard]] static std::size_t map_dir(std::uint32_t dense) {
+    return static_cast<std::size_t>(
+        std::bit_width((std::uint64_t{dense} >> kMapChunk0Bits) + 1) - 1);
+  }
+  [[nodiscard]] static std::uint32_t map_base(std::size_t dir) {
+    return static_cast<std::uint32_t>(((std::uint64_t{1} << dir) - 1)
+                                      << kMapChunk0Bits);
+  }
+  [[nodiscard]] static std::size_t map_entries(std::size_t dir) {
+    return std::size_t{1} << (kMapChunk0Bits + dir);
+  }
+
+  struct Array {
+    explicit Array(std::size_t n)
+        : count(n), words(new std::atomic<std::uint64_t>[n]()) {}
+    std::size_t count;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> words;
+    [[nodiscard]] std::atomic<std::uint64_t>& word(std::size_t i) {
+      return words[i];
+    }
+  };
+
+  [[nodiscard]] std::uint32_t lookup(Array* arr,
+                                     std::span<const std::byte> bytes,
+                                     std::uint64_t h) const {
+    const std::uint64_t mask = arr->count - 1;
+    std::size_t slot = h & mask;
+    for (;;) {
+      const std::uint64_t w = arr->word(slot).load(std::memory_order_acquire);
+      if (w == 0) return kNone;
+      const auto off = static_cast<std::uint32_t>((w & 0xffffffffu) - 1);
+      const std::byte* p = pool_.data(off);
+      std::uint32_t len = 0;
+      std::memcpy(&len, p, sizeof(len));
+      if (len == bytes.size() &&
+          (bytes.empty() ||
+           std::memcmp(p + sizeof(len), bytes.data(), len) == 0))
+        return static_cast<std::uint32_t>(w >> 32);
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  // Under lock_. nullptr when the budget refuses the bigger array.
+  [[nodiscard]] Array* grow(Array* old) {
+    const std::size_t fresh_count = old->count * 2;
+    if (!budget_->try_reserve(fresh_count * sizeof(std::uint64_t)))
+      return nullptr;
+    charged_.fetch_add(fresh_count * sizeof(std::uint64_t),
+                       std::memory_order_relaxed);
+    auto* fresh = new Array(fresh_count);
+    const std::uint64_t mask = fresh_count - 1;
+    for (std::size_t i = 0; i < old->count; ++i) {
+      const std::uint64_t w = old->word(i).load(std::memory_order_relaxed);
+      if (w == 0) continue;
+      const auto off = static_cast<std::uint32_t>((w & 0xffffffffu) - 1);
+      const std::byte* p = pool_.data(off);
+      std::uint32_t len = 0;
+      std::memcpy(&len, p, sizeof(len));
+      std::size_t slot =
+          hash_bytes({p + sizeof(len), len}) & mask;
+      while (fresh->word(slot).load(std::memory_order_relaxed) != 0)
+        slot = (slot + 1) & mask;
+      fresh->word(slot).store(w, std::memory_order_relaxed);
+    }
+    slots_.store(fresh, std::memory_order_release);
+    // Lock-free probers may still hold `old`: retire it (and keep its
+    // budget charge — the memory really is still held) until destruction.
+    retired_.emplace_back(old);
+    return fresh;
+  }
+
+  // Written only under lock_; chunk addresses never move, so quiescent
+  // readers (at()) walk the map without coordination.
+  [[nodiscard]] bool map_set(std::uint32_t dense, std::uint32_t off) {
+    const std::size_t dir = map_dir(dense);
+    if (dir >= kMapDirs) return false;
+    if (!map_[dir]) {
+      const std::size_t bytes = map_entries(dir) * sizeof(std::uint32_t);
+      if (!budget_->try_reserve(bytes)) return false;
+      charged_.fetch_add(bytes, std::memory_order_relaxed);
+      map_[dir] = std::make_unique<std::uint32_t[]>(map_entries(dir));
+    }
+    map_[dir][dense - map_base(dir)] = off;
+    return true;
+  }
+
+  MemoryBudget* budget_;
+  ChunkedBytePool<MemoryBudget> pool_;
+  SpinLock lock_;
+  std::atomic<Array*> slots_{nullptr};
+  std::vector<std::unique_ptr<Array>> retired_;  // mutated under lock_
+  std::array<std::unique_ptr<std::uint32_t[]>, kMapDirs> map_{};
+  std::uint32_t size_plain_ = 0;            // authoritative, under lock_
+  std::atomic<std::uint32_t> size_{0};      // mirror for lock-free readers
+  std::atomic<std::size_t> charged_{0};
+};
+
+/// One shard of the lock-free parallel visited set. CompressionMode::Off
+/// is a passthrough to an AtomicByteTable over raw encodings; Collapse
+/// interns components through ConcurrentDicts (lock-free hit path) and
+/// stores the varint index tuple in the table. Refs are record byte
+/// offsets — stable, dense-free, and never reused.
+///
+/// Concurrency contract: insert() from any thread; at()/parent_of()/
+/// stored_bytes() require quiescence (at() expands into a scratch buffer;
+/// dictionaries retire arrays only, so even that is safe against races,
+/// but the contract stays conservative to match the sequential set).
+class ConcurrentCollapsedSet {
+ public:
+  using Outcome = InsertOutcome;
+
+  struct InsertResult {
+    Outcome outcome;
+    std::uint32_t ref = 0;  // record offset in this shard; valid unless Exhausted
+  };
+
+  /// Sizing knobs, computed once by ShardedStateSet so K shards plus
+  /// their floors provably fit small budgets (tables shrink before the
+  /// budget is even consulted).
+  struct Layout {
+    std::size_t table_slots = 1024;
+    std::size_t table_chunk0 = 4096;
+    std::size_t dict_chunk0 = 512;
+  };
+
+  ConcurrentCollapsedSet(MemoryBudget& budget, CompressionMode mode,
+                         bool track_parents, CollapseStructure& structure,
+                         Layout layout)
+      : budget_(&budget),
+        mode_(mode),
+        structure_(&structure),
+        layout_(layout),
+        tuples_(budget, layout.table_slots, layout.table_chunk0,
+                track_parents) {
+    for (auto& d : dicts_) d.store(nullptr, std::memory_order_relaxed);
+  }
+
+  ~ConcurrentCollapsedSet() {
+    for (auto& d : dicts_) delete d.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] InsertResult insert(std::span<const std::byte> state,
+                                    std::span<const ComponentMark> marks,
+                                    std::uint64_t raw_hash,
+                                    std::uint64_t parent) {
+    if (mode_ == CompressionMode::Off) {
+      auto r = tuples_.insert(state, raw_hash, parent);
+      if (r.outcome == Outcome::Inserted)
+        raw_bytes_.fetch_add(state.size(), std::memory_order_relaxed);
+      return {r.outcome, r.ref};
+    }
+
+    // Slice into components exactly like the sequential set: [previous
+    // end, mark.end) per mark plus an implicit trailing class-0 tail.
+    static thread_local ByteSink tuple;
+    tuple.clear();
+    std::size_t start = 0;
+    std::size_t slot = 0;
+    auto one = [&](std::size_t end, std::uint8_t cls) {
+      CCREF_REQUIRE(cls < kMaxClasses && start <= end && end <= state.size());
+      CCREF_REQUIRE(structure_->check_or_set(slot, cls));
+      ConcurrentDict* d = dict(cls);
+      if (d == nullptr) return false;
+      auto comp = state.subspan(start, end - start);
+      const std::uint32_t dense = d->intern(comp, hash_bytes(comp));
+      if (dense == ConcurrentDict::kNone) return false;
+      // An interned component of a state whose insert later exhausts
+      // stays in its dictionary — valid, likely reusable, fully charged.
+      tuple.varint(dense);
+      start = end;
+      ++slot;
+      return true;
+    };
+    for (const ComponentMark& m : marks)
+      if (!one(m.end, m.cls)) return {Outcome::Exhausted, 0};
+    if (start < state.size() || slot == 0)
+      if (!one(state.size(), 0)) return {Outcome::Exhausted, 0};
+    CCREF_REQUIRE(structure_->seal(slot));
+
+    auto tb = tuple.bytes();
+    auto r = tuples_.insert(tb, hash_bytes(tb), parent);
+    if (r.outcome == Outcome::Inserted)
+      raw_bytes_.fetch_add(state.size(), std::memory_order_relaxed);
+    return {r.outcome, r.ref};
+  }
+
+  /// Quiescent-only. Off: stable span into the pool. Collapse: the tuple
+  /// re-expanded through the dictionaries into a scratch buffer — valid
+  /// until the next at() on this shard.
+  [[nodiscard]] std::span<const std::byte> at(std::uint32_t ref) const {
+    if (mode_ == CompressionMode::Off) return tuples_.at(ref);
+    ByteSource src(tuples_.at(ref));
+    scratch_.clear();
+    const std::size_t n = structure_->count();
+    for (std::size_t i = 0; i < n; ++i) {
+      const ConcurrentDict* d =
+          dicts_[structure_->cls(i)].load(std::memory_order_acquire);
+      CCREF_ASSERT(d != nullptr);
+      auto comp = d->at(static_cast<std::uint32_t>(src.varint()));
+      scratch_.insert(scratch_.end(), comp.begin(), comp.end());
+    }
+    CCREF_ASSERT(src.exhausted());
+    return scratch_;
+  }
+
+  [[nodiscard]] std::uint64_t parent_of(std::uint32_t ref) const {
+    return tuples_.parent_at(ref);
+  }
+
+  [[nodiscard]] std::size_t size() const { return tuples_.size(); }
+
+  [[nodiscard]] std::size_t raw_bytes() const {
+    return raw_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes actually spent storing states: tuple payloads plus the full
+  /// dictionary footprint (mirrors CollapsedStateSet::stored_bytes).
+  [[nodiscard]] std::size_t stored_bytes() const {
+    std::size_t total = tuples_.payload_bytes();
+    for (const auto& d : dicts_)
+      if (const auto* p = d.load(std::memory_order_acquire))
+        total += p->charged();
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kMaxClasses = 16;
+
+  /// Dictionary for `cls`, created on first use (CAS install; the loser
+  /// deletes its copy). nullptr when the budget refuses even the floor.
+  [[nodiscard]] ConcurrentDict* dict(std::uint8_t cls) {
+    auto& slot = dicts_[cls];
+    if (ConcurrentDict* d = slot.load(std::memory_order_acquire)) return d;
+    bool alive = false;
+    auto* fresh = new ConcurrentDict(*budget_, layout_.dict_chunk0, &alive);
+    if (!alive) {
+      delete fresh;
+      return nullptr;
+    }
+    ConcurrentDict* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, fresh,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+      return fresh;
+    delete fresh;  // ~ConcurrentDict releases nothing; undo the floor charge
+    budget_->release(ConcurrentDict::kFloorBytes);
+    return expected;
+  }
+
+  MemoryBudget* budget_;
+  CompressionMode mode_;
+  CollapseStructure* structure_;
+  Layout layout_;
+  AtomicByteTable<MemoryBudget> tuples_;
+  std::array<std::atomic<ConcurrentDict*>, kMaxClasses> dicts_;
+  std::atomic<std::size_t> raw_bytes_{0};
   mutable std::vector<std::byte> scratch_;  // at() expansion buffer
 };
 

@@ -39,6 +39,16 @@ class MemoryBudget {
     used_.fetch_sub(delta, std::memory_order_relaxed);
   }
 
+  /// Unconditionally record `delta` bytes as used, even past the limit.
+  /// For construction-time floors (a table needs SOME slot array to exist):
+  /// the memory is already allocated, so refusing the charge would make
+  /// used() lie. used() may then exceed limit(), and every subsequent
+  /// try_reserve fails until a matching release — the structure is born
+  /// exhausted rather than born dishonest.
+  void charge(std::size_t delta) {
+    used_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
   [[nodiscard]] std::size_t used() const {
     return used_.load(std::memory_order_relaxed);
   }

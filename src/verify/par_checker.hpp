@@ -1,25 +1,41 @@
-// Parallel explicit-state reachability engine.
+// Parallel explicit-state reachability engine — lock-free on every hot
+// path.
 //
-// Same contract as verify::explore (checker.hpp), executed by a worker pool
-// over a ShardedStateSet: each worker owns a frontier deque and steals from
-// siblings when its own runs dry (multi-core-SPIN's design). For a run that
-// completes with Status::Ok the reported state and transition counts are
-// IDENTICAL to the sequential engine's — every reachable state is expanded
-// exactly once, and the edge total is order-independent. What parallel
-// exploration gives up is the breadth-first frontier: counterexample traces
-// are valid paths but may be longer than the minimal ones the sequential
-// BFS guarantees, and violations/deadlocks may be detected at a different
-// (equally real) state. Memory exhaustion still yields Status::Unfinished
-// against the same single budget, though the exact state count at
-// exhaustion depends on scheduling.
+// Same contract as verify::explore (checker.hpp), executed by a worker
+// pool over a lock-free ShardedStateSet: each worker owns a Chase–Lev
+// work-stealing deque (owner push/pop lock-free, steal by CAS) and
+// steals from siblings when its own runs dry. Visited-set inserts are
+// claim-by-CAS / publish-with-release (no shard mutexes), and under
+// --compress the COLLAPSE dictionary hit path is a lock-free probe. For
+// a run that completes with Status::Ok the reported state and transition
+// counts are IDENTICAL to the sequential engine's — every reachable
+// state is expanded exactly once, and the edge total is
+// order-independent. What parallel exploration gives up is the
+// breadth-first frontier: counterexample traces are valid paths but may
+// be longer than the minimal ones the sequential BFS guarantees, and
+// violations/deadlocks may be detected at a different (equally real)
+// state. Memory exhaustion still yields Status::Unfinished against the
+// same single budget, though the exact state count at exhaustion depends
+// on scheduling.
+//
+// Termination detection (proof sketch in DESIGN.md §4.6): `in_flight`
+// counts states inserted but not yet fully expanded. It is incremented
+// BEFORE the item becomes stealable and decremented only AFTER its
+// expansion pushed (and pre-counted) every fresh successor, so
+// in_flight >= (queued items) + (items being expanded) at all times, and
+// once it reads 0 no item exists anywhere and none can reappear — an
+// idle worker that observes 0 can exit without a barrier. Idle workers
+// spin with bounded exponential backoff (pause then yield); there is no
+// sleep/poll loop, so quiescence is detected within a scheduling quantum.
 #pragma once
 
 #include <atomic>
-#include <deque>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "support/thread_pool.hpp"
+#include "support/work_steal_deque.hpp"
 #include "verify/checker.hpp"
 #include "verify/sharded_state_set.hpp"
 
@@ -54,16 +70,19 @@ std::vector<std::string> rebuild_trace_sharded(const Sys& sys,
 }  // namespace detail
 
 /// Parallel counterpart of verify::explore. `jobs` == 0 means one worker
-/// per hardware thread; `shards` == 0 sizes the visited set at 8 shards per
-/// worker. Agrees with the sequential engine on status always, and on
-/// state/transition counts whenever the status is Ok.
+/// per hardware thread; `shards` == 0 matches the shard count to the
+/// worker count — shards are a striping detail of the lock-free table
+/// (they spread resize epochs and allocation counters), not a lock
+/// domain, so they no longer need to outnumber the workers 8:1. Agrees
+/// with the sequential engine on status always, and on state/transition
+/// counts whenever the status is Ok.
 template <class Sys>
 [[nodiscard]] CheckResult par_explore(const Sys& sys,
                                       const CheckOptions<Sys>& opts = {},
                                       unsigned jobs = 0, unsigned shards = 0) {
   auto t0 = std::chrono::steady_clock::now();
   if (jobs == 0) jobs = ThreadPool::default_concurrency();
-  if (shards == 0) shards = jobs * 8;
+  if (shards == 0) shards = jobs;
 
   CheckResult result;
   const sem::LabelMode mode =
@@ -83,16 +102,16 @@ template <class Sys>
                        /*track_parents=*/opts.want_trace, opts.compress,
                        opts.expected_states);
 
-  // A frontier item carries its own copy of the encoded state: shard pools
-  // reallocate under concurrent insertion, so spans into them are only safe
-  // post-run.
+  // A frontier item carries its own copy of the encoded state: under
+  // Collapse, reading a state back out of the set is not concurrent-safe
+  // (and in Off mode the copy costs less than the cache traffic of
+  // re-reading a remote shard's pool).
   struct Item {
     ShardedStateSet::Ref ref;
     std::vector<std::byte> bytes;
   };
   struct Worker {
-    std::mutex mu;
-    std::deque<Item> frontier;
+    WorkStealDeque<Item*> frontier;
     std::uint64_t transitions = 0;
     ComponentSink sink;  // reused for every encode this worker performs
   };
@@ -101,12 +120,11 @@ template <class Sys>
   for (unsigned i = 0; i < jobs; ++i)
     workers.push_back(std::make_unique<Worker>());
 
-  // `pending` counts states inserted but not yet fully expanded; it reaches
-  // zero exactly when the reachable space is exhausted. `stop` short-circuits
+  // Termination detector: see the header comment. `stop` short-circuits
   // on the first violation / deadlock / memory exhaustion.
-  std::atomic<std::size_t> pending{0};
+  std::atomic<std::size_t> in_flight{0};
   std::atomic<bool> stop{false};
-  std::mutex fail_mu;
+  std::mutex fail_mu;  // cold: taken once, by the first failure
   bool failed = false;
   Status fail_status = Status::Ok;
   ShardedStateSet::Ref fail_ref{};
@@ -137,45 +155,35 @@ template <class Sys>
       report(Status::InvariantViolated, ins.ref, std::move(msg));
     } else {
       auto b = sink.bytes();
-      workers[0]->frontier.push_back(
-          {ins.ref, std::vector<std::byte>(b.begin(), b.end())});
-      pending.store(1, std::memory_order_release);
+      in_flight.store(1, std::memory_order_relaxed);
+      workers[0]->frontier.push(
+          new Item{ins.ref, std::vector<std::byte>(b.begin(), b.end())});
     }
   }
 
   auto worker_fn = [&](unsigned id) {
     Worker& self = *workers[id];
-    Item item;
-    auto try_pop = [&] {
-      {
-        std::lock_guard<std::mutex> lock(self.mu);
-        if (!self.frontier.empty()) {
-          item = std::move(self.frontier.front());
-          self.frontier.pop_front();
-          return true;
-        }
-      }
-      // Steal from the back of a sibling's deque (deepest work, least
-      // contended end).
-      for (unsigned k = 1; k < workers.size(); ++k) {
-        Worker& victim = *workers[(id + k) % workers.size()];
-        std::lock_guard<std::mutex> lock(victim.mu);
-        if (!victim.frontier.empty()) {
-          item = std::move(victim.frontier.back());
-          victim.frontier.pop_back();
-          return true;
-        }
-      }
-      return false;
+    SpinBackoff idle;
+
+    auto next_item = [&]() -> Item* {
+      if (Item* it = self.frontier.pop()) return it;
+      // Steal from the top of a sibling's deque (oldest work — under BFS
+      // ordering the shallowest states, i.e. the biggest subtrees).
+      for (unsigned k = 1; k < workers.size(); ++k)
+        if (Item* it = workers[(id + k) % workers.size()]->frontier.steal())
+          return it;
+      return nullptr;
     };
 
     while (!stop.load(std::memory_order_acquire)) {
-      if (!try_pop()) {
-        if (pending.load(std::memory_order_acquire) == 0) return;
-        std::this_thread::yield();
+      std::unique_ptr<Item> item(next_item());
+      if (!item) {
+        if (in_flight.load(std::memory_order_acquire) == 0) return;
+        idle.pause();
         continue;
       }
-      ByteSource src(item.bytes);
+      idle.reset();
+      ByteSource src(item->bytes);
       auto state = sys.decode(src);
 
       bool revisit = false;  // some successor was already visited (C3)
@@ -184,7 +192,7 @@ template <class Sys>
         if (opts.edge_check) {
           std::string msg = opts.edge_check(state, succ, label);
           if (!msg.empty()) {
-            report(Status::InvariantViolated, item.ref,
+            report(Status::InvariantViolated, item->ref,
                    "edge '" + label.text + "': " + msg);
             return false;
           }
@@ -193,7 +201,7 @@ template <class Sys>
         self.sink.clear();
         sys.encode(succ, self.sink);
         auto ins = seen.insert(self.sink.bytes(), self.sink.marks(),
-                               ShardedStateSet::pack(item.ref));
+                               ShardedStateSet::pack(item->ref));
         if (ins.outcome == StateSet::Outcome::Exhausted) {
           report(Status::Unfinished, {}, std::string());
           return false;
@@ -207,11 +215,12 @@ template <class Sys>
               return false;
             }
           }
-          pending.fetch_add(1, std::memory_order_release);
+          // Count BEFORE the item becomes stealable — the termination
+          // detector's invariant depends on this order.
+          in_flight.fetch_add(1, std::memory_order_release);
           auto b = self.sink.bytes();
-          std::lock_guard<std::mutex> lock(self.mu);
-          self.frontier.push_back(
-              {ins.ref, std::vector<std::byte>(b.begin(), b.end())});
+          self.frontier.push(
+              new Item{ins.ref, std::vector<std::byte>(b.begin(), b.end())});
         }
         return true;
       };
@@ -220,7 +229,7 @@ template <class Sys>
         if (por == PorMode::Ample) {
           auto ps = sys.successors_por(state, mode);
           if (ps.all.empty() && opts.detect_deadlock) {
-            report(Status::Deadlock, item.ref,
+            report(Status::Deadlock, item->ref,
                    "deadlock: no enabled transition in " +
                        sys.describe(state));
             return;
@@ -246,19 +255,19 @@ template <class Sys>
               if (!do_edge(ps.all[e].first, ps.all[e].second)) return;
             }
           }
-          pending.fetch_sub(1, std::memory_order_acq_rel);
+          in_flight.fetch_sub(1, std::memory_order_acq_rel);
           continue;
         }
       }
       auto succs = detail::successors_of(sys, state, mode);
       if (succs.empty() && opts.detect_deadlock) {
-        report(Status::Deadlock, item.ref,
+        report(Status::Deadlock, item->ref,
                "deadlock: no enabled transition in " + sys.describe(state));
         return;
       }
       for (auto& [succ, label] : succs)
         if (!do_edge(succ, label)) return;
-      pending.fetch_sub(1, std::memory_order_acq_rel);
+      in_flight.fetch_sub(1, std::memory_order_acq_rel);
     }
   };
 
@@ -268,6 +277,10 @@ template <class Sys>
       pool.submit([&worker_fn, i] { worker_fn(i); });
     pool.wait_idle();
   }
+  // Early-stop runs leave unexpanded items behind; workers are joined, so
+  // draining via owner pops is safe from this thread.
+  for (auto& w : workers)
+    while (Item* leftover = w->frontier.pop()) delete leftover;
 
   result.status = failed ? fail_status : Status::Ok;
   result.states = seen.size();

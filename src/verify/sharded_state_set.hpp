@@ -1,25 +1,35 @@
-// Concurrent visited-state set: K independently-locked StateSet shards
-// drawing on one shared MemoryBudget.
+// Lock-free concurrent visited-state set: K CAS-based shards drawing on
+// one shared MemoryBudget.
 //
-// This is the standard multi-core-SPIN design: a state's 64-bit hash picks
-// the shard (high bits — the shard's own open-addressing table uses the low
-// bits, so the two choices stay independent), and only that shard's mutex is
-// taken for the insert. Because symmetry reduction canonicalizes before
-// hashing, all members of an orbit land in the same shard and dedupe there —
-// the reduction needs no cross-shard coordination. Per-shard indices are stable in discovery order, so
-// a state is globally identified by a (shard, index) Ref — the parallel
-// checker stores BFS parents as packed Refs and reconstructs counterexample
-// traces exactly like the sequential engine does.
+// This keeps the multi-core-SPIN sharding geometry — a state's 64-bit
+// hash picks the shard (high bits; each shard's open-addressing table
+// uses the low bits, so the two choices stay independent) — but shards
+// are now a STRIPING detail, not a lock domain: each shard is a
+// ConcurrentCollapsedSet whose insert-if-absent is a claim-by-CAS /
+// publish-with-release protocol (support/atomic_table.hpp), so any
+// number of threads insert into the same shard without serializing.
+// More shards still help (they split the resize epochs and spread the
+// allocation bump counters), which is why the parallel checker defaults
+// them to the job count rather than jobs*8 mutex domains.
+//
+// Because symmetry reduction canonicalizes before hashing, all members
+// of an orbit land in the same shard and dedupe there — the reduction
+// needs no cross-shard coordination. A state's Ref is (shard, record
+// offset): offsets are stable and never reused, so Refs are global
+// identities; the parallel checker stores BFS parents inline in the
+// record (no side arrays to lock) and reconstructs counterexample traces
+// exactly like the sequential engine does.
 //
 // Concurrency contract:
 //   * insert() may be called from any thread at any time.
-//   * at() / parent_of() / iteration via shard() require quiescence (no
-//     concurrent insert) — the checker only calls them after workers stop,
-//     because a shard's byte pool may reallocate under insertion.
+//   * at() / parent_of() / stored_bytes() require quiescence (no
+//     concurrent insert) — the checker only calls them after workers
+//     stop. Under Collapse, at() expands into a per-shard scratch
+//     buffer: a returned span is valid until the next at() on the same
+//     shard; callers that need several states at once copy.
 #pragma once
 
-#include <array>
-#include <mutex>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -32,7 +42,8 @@ class ShardedStateSet {
  public:
   using Outcome = StateSet::Outcome;
 
-  /// Global identity of a stored state.
+  /// Global identity of a stored state: shard plus record byte offset
+  /// inside that shard's pool (stable, never reused; NOT dense).
   struct Ref {
     std::uint32_t shard = 0;
     std::uint32_t index = 0;
@@ -40,7 +51,7 @@ class ShardedStateSet {
     friend bool operator==(const Ref&, const Ref&) = default;
   };
 
-  /// Packed Ref for dense parent arrays; kNoParent marks the root.
+  /// Packed Ref for parent links; kNoParent marks the root.
   static constexpr std::uint64_t kNoParent = ~0ull;
   [[nodiscard]] static constexpr std::uint64_t pack(Ref r) {
     return (static_cast<std::uint64_t>(r.shard) << 32) | r.index;
@@ -56,12 +67,16 @@ class ShardedStateSet {
   };
 
   /// `shard_count` is rounded up to a power of two and clamped to
-  /// [1, kMaxShards]. `track_parents` reserves one packed Ref per state for
-  /// trace reconstruction. Under CompressionMode::Collapse each shard keeps
-  /// its own dictionaries — shard choice hashes the raw (canonical)
-  /// encoding, so equal states land in one shard and never need sibling
-  /// dictionaries to agree on indices. `expected_states` is split evenly
-  /// across shards to pre-size their tables.
+  /// [1, kMaxShards]. `track_parents` stores one packed Ref inline per
+  /// record for trace reconstruction. Under CompressionMode::Collapse
+  /// each shard keeps its own dictionaries — shard choice hashes the raw
+  /// (canonical) encoding, so equal states land in one shard and never
+  /// need sibling dictionaries to agree on indices; the component
+  /// STRUCTURE, however, is shared (one CollapseStructure) so every
+  /// shard slices identically. `expected_states` is split evenly across
+  /// shards to pre-size their tables; all construction floors shrink
+  /// until they fit a quarter of the budget, so even tiny limits leave
+  /// headroom for actual states.
   ShardedStateSet(std::size_t memory_limit_bytes, unsigned shard_count,
                   bool track_parents = false,
                   CompressionMode mode = CompressionMode::Off,
@@ -71,45 +86,64 @@ class ShardedStateSet {
     while (n < shard_count && n < kMaxShards) n <<= 1;
     shard_bits_ = 0;
     for (unsigned v = n; v > 1; v >>= 1) ++shard_bits_;
+
+    ConcurrentCollapsedSet::Layout layout;
+    std::size_t slots = 1024;
+    if (expected_states > 0) {
+      const std::size_t per_shard = expected_states / n;
+      while (slots * 7 < per_shard * 10) slots *= 2;
+      // A wild hint must degrade into ordinary growth, not pre-spend the
+      // budget (same discipline as StateSet's hint clamp).
+      while (slots > 1024 &&
+             n * slots * sizeof(std::uint64_t) > memory_limit_bytes / 2)
+        slots /= 2;
+    }
+    while (slots > 64 &&
+           n * slots * sizeof(std::uint64_t) > memory_limit_bytes / 4)
+      slots /= 2;
+    layout.table_slots = slots;
+    std::size_t chunk0 = 4096;
+    while (chunk0 > 1024 && n * chunk0 > memory_limit_bytes / 4) chunk0 /= 2;
+    layout.table_chunk0 = chunk0;
+    layout.dict_chunk0 = 256;
+
     shards_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
-      shards_.push_back(std::make_unique<Shard>(budget_, mode,
-                                                expected_states / n));
+      shards_.push_back(std::make_unique<ConcurrentCollapsedSet>(
+          budget_, mode, track_parents, structure_, layout));
   }
 
-  /// Thread-safe insert; `parent` is recorded for fresh states when parent
-  /// tracking is on (pass pack(ref) of the BFS predecessor, kNoParent for
-  /// the root). `marks` carries the component boundaries of `state` (from a
-  /// ComponentSink); ignored in Off mode.
+  /// Thread-safe lock-free insert; `parent` is recorded for fresh states
+  /// when parent tracking is on (pass pack(ref) of the BFS predecessor,
+  /// kNoParent for the root). `marks` carries the component boundaries
+  /// of `state` (from a ComponentSink); ignored in Off mode. A duplicate
+  /// insert never overwrites the recorded parent (only the claiming
+  /// thread ever writes the record).
   [[nodiscard]] InsertResult insert(std::span<const std::byte> state,
                                     std::span<const ComponentMark> marks = {},
                                     std::uint64_t parent = kNoParent) {
     const std::uint64_t h = hash_bytes(state);
     const auto si = static_cast<std::uint32_t>(
         shard_bits_ == 0 ? 0 : h >> (64 - shard_bits_));
-    Shard& sh = *shards_[si];
-    std::lock_guard<std::mutex> lock(sh.mu);
-    auto r = sh.set.insert(state, marks, h);
-    if (r.outcome == Outcome::Inserted && track_parents_)
-      sh.parents.push_back(parent);
-    return {r.outcome, {si, r.index}};
+    auto r = shards_[si]->insert(state, marks, h, parent);
+    return {r.outcome, {si, r.ref}};
   }
 
   /// Quiescent-only: bytes of a stored state.
   [[nodiscard]] std::span<const std::byte> at(Ref r) const {
-    return shards_[r.shard]->set.at(r.index);
+    return shards_[r.shard]->at(r.index);
   }
 
   /// Quiescent-only: BFS parent recorded at insertion (kNoParent for root).
   [[nodiscard]] std::uint64_t parent_of(Ref r) const {
     CCREF_REQUIRE(track_parents_);
-    return shards_[r.shard]->parents[r.index];
+    return shards_[r.shard]->parent_of(r.index);
   }
 
-  /// Quiescent-only: total states across shards.
+  /// Total states across shards (exact whenever no insert is mid-flight).
   [[nodiscard]] std::size_t size() const {
     std::size_t total = 0;
-    for (const auto& sh : shards_) total += sh->set.size();
+    for (const auto& sh : shards_) total += sh->size();
     return total;
   }
 
@@ -118,15 +152,11 @@ class ShardedStateSet {
   [[nodiscard]] unsigned shard_count() const {
     return static_cast<unsigned>(shards_.size());
   }
-  /// Quiescent-only access to one shard's set (post-run iteration).
-  [[nodiscard]] const CollapsedStateSet& shard(unsigned i) const {
-    return shards_[i]->set;
-  }
 
   /// Quiescent-only: summed raw encoding bytes of all stored states.
   [[nodiscard]] std::size_t raw_bytes() const {
     std::size_t total = 0;
-    for (const auto& sh : shards_) total += sh->set.raw_bytes();
+    for (const auto& sh : shards_) total += sh->raw_bytes();
     return total;
   }
 
@@ -134,28 +164,18 @@ class ShardedStateSet {
   /// dictionary footprints) across shards.
   [[nodiscard]] std::size_t stored_bytes() const {
     std::size_t total = 0;
-    for (const auto& sh : shards_) total += sh->set.stored_bytes();
+    for (const auto& sh : shards_) total += sh->stored_bytes();
     return total;
   }
 
  private:
   static constexpr unsigned kMaxShards = 256;
 
-  struct Shard {
-    Shard(MemoryBudget& budget, CompressionMode mode,
-          std::size_t expected_states)
-        : set(budget, mode, expected_states) {}
-    std::mutex mu;
-    CollapsedStateSet set;
-    std::vector<std::uint64_t> parents;
-  };
-
   MemoryBudget budget_;
   unsigned shard_bits_ = 0;
   bool track_parents_;
-  // unique_ptr: Shard holds a mutex and must not move when the vector grows
-  // (it never grows post-construction, but stay safe).
-  std::vector<std::unique_ptr<Shard>> shards_;
+  CollapseStructure structure_;  // shared across shards (see ctor comment)
+  std::vector<std::unique_ptr<ConcurrentCollapsedSet>> shards_;
 };
 
 }  // namespace ccref::verify

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "support/atomic_table.hpp"
 #include "support/contracts.hpp"
 #include "support/hash.hpp"
 #include "verify/memory_budget.hpp"
@@ -32,7 +33,9 @@ namespace ccref::verify {
 
 class StateSet {
  public:
-  enum class Outcome : std::uint8_t { Inserted, AlreadyPresent, Exhausted };
+  // One outcome vocabulary across the sequential and lock-free sets, so
+  // agreement tests compare results without translation.
+  using Outcome = ::ccref::InsertOutcome;
 
   struct InsertResult {
     Outcome outcome;

@@ -4,6 +4,8 @@
 // exhaustion runs (the offending state may legitimately differ).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "protocols/invalidate.hpp"
 #include "protocols/lockserver.hpp"
 #include "protocols/migratory.hpp"
@@ -28,7 +30,9 @@ void expect_engines_agree(const Sys& sys, const char* what) {
   verify::CheckOptions<Sys> opts;
   opts.want_trace = false;
   auto seq = verify::explore(sys, opts);
-  for (unsigned jobs : {1u, kJobs}) {
+  const unsigned max_jobs =
+      std::max(2u, ThreadPool::default_concurrency());
+  for (unsigned jobs : {1u, kJobs, max_jobs}) {
     auto par = verify::par_explore(sys, opts, jobs);
     EXPECT_EQ(par.status, seq.status) << what << " jobs=" << jobs;
     EXPECT_EQ(par.states, seq.states) << what << " jobs=" << jobs;
