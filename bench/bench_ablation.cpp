@@ -12,6 +12,7 @@
 // Livelock is measured exactly: a *doomed* state is a reachable state from
 // which no rendezvous-completing transition is ever reachable again.
 #include <cstdio>
+#include <limits>
 #include <iostream>
 
 #include "protocols/invalidate.hpp"
@@ -29,9 +30,9 @@ using namespace ccref;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   std::size_t mem = static_cast<std::size_t>(
-                        cli.uint_flag("mem-mb", 1024, 1, 1u << 20,
-                                      "memory limit (MB)"))
-                    << 20;
+      cli.size_flag("mem", "1G", 1u << 20,
+                    std::numeric_limits<std::uint64_t>::max(),
+                    "state-memory limit, e.g. 64M or 2G"));
   bool full = cli.bool_flag(
       "full", true, "include the invalidate N=4 rows (~1.2M states each)");
   std::string por_arg = cli.str_flag(

@@ -21,6 +21,7 @@
 // memory) under the same 64 MB default cap as Table 3; counterexamples are
 // concrete stem+cycle traces (printed with --traces).
 #include <cstdio>
+#include <limits>
 #include <iostream>
 
 #include "ltl/check.hpp"
@@ -102,10 +103,10 @@ struct Runner {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  std::size_t mem =
-      static_cast<std::size_t>(cli.uint_flag("mem-mb", 64, 1, 1u << 20,
-                                             "memory limit per run (MB)"))
-      << 20;
+  std::size_t mem = static_cast<std::size_t>(
+      cli.size_flag("mem", "64M", 1u << 20,
+                    std::numeric_limits<std::uint64_t>::max(),
+                    "state-memory limit, e.g. 64M or 2G"));
   bool smoke = cli.bool_flag("smoke", false,
                              "small configurations only (CI-sized)");
   bool traces =

@@ -12,9 +12,11 @@
 #include "sem/rendezvous.hpp"
 #include "support/atomic_table.hpp"
 #include "support/hash.hpp"
+#include "support/spill.hpp"
 #include "support/work_steal_deque.hpp"
 #include "verify/checker.hpp"
 #include "verify/collapse.hpp"
+#include "verify/fingerprint_set.hpp"
 #include "verify/memory_budget.hpp"
 #include "verify/state_set.hpp"
 
@@ -103,6 +105,35 @@ void BM_StateSetInsert(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StateSetInsert);
+
+// One fingerprint per state instead of the full vector: the insert path the
+// hash-compaction tier runs per successor. Compare against
+// BM_StateSetInsert for the per-state cost the tier removes.
+void BM_FingerprintInsert(benchmark::State& state) {
+  verify::MemoryBudget budget(1u << 30);
+  verify::FingerprintSet set(budget);
+  std::uint64_t i = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(set.insert(++i * 0x9e3779b97f4a7c15ull));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FingerprintInsert);
+
+// mmap + ftruncate + unlink for one spill chunk — the rare-path cost a pool
+// pays when it crosses the RAM watermark (chunks double, so a 64 MB
+// overflow takes ~14 of these, not thousands).
+void BM_SpillChunkAlloc(benchmark::State& state) {
+  SpillArena arena("/tmp/ccref-bench-spill");
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::byte* p = arena.map_chunk(bytes);
+    benchmark::DoNotOptimize(p);
+    p[0] = std::byte{1};  // fault in the first page
+    arena.unmap_chunk(p, bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpillChunkAlloc)->Arg(64 << 10)->Arg(4 << 20);
 
 // Encode a real async state through a ComponentSink (marks recorded) vs. the
 // plain ByteSink above — the marginal cost of boundary bookkeeping.

@@ -16,6 +16,7 @@
 // jobs=J (only meaningful on a machine with >= J hardware threads).
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <iostream>
 #include <map>
 #include <thread>
@@ -137,13 +138,13 @@ int run_sweep(std::size_t as_mem, unsigned sweep_n, unsigned shards,
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   std::size_t rv_mem = static_cast<std::size_t>(
-                           cli.uint_flag("rendezvous-mb", 32, 1, 1u << 20,
-                                         "rendezvous memory limit (MB)"))
-                       << 20;
+      cli.size_flag("rendezvous-mem", "32M", 1u << 20,
+                    std::numeric_limits<std::uint64_t>::max(),
+                    "rendezvous state-memory limit, e.g. 32M or 1G"));
   std::size_t as_mem = static_cast<std::size_t>(
-                           cli.uint_flag("async-mb", 64, 1, 1u << 20,
-                                         "asynchronous memory limit (MB)"))
-                       << 20;
+      cli.size_flag("async-mem", "64M", 1u << 20,
+                    std::numeric_limits<std::uint64_t>::max(),
+                    "asynchronous state-memory limit, e.g. 64M or 2G"));
   auto jobs = static_cast<unsigned>(cli.uint_flag(
       "jobs", 1, 1, 1024, "worker threads (1 = sequential engine)"));
   auto shards = static_cast<unsigned>(cli.uint_flag(

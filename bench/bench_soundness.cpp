@@ -19,6 +19,7 @@
 #include "sem/rendezvous.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
+#include "support/storage_cli.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "verify/checker.hpp"
@@ -27,10 +28,8 @@ using namespace ccref;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  std::size_t mem = static_cast<std::size_t>(
-                        cli.uint_flag("mem-mb", 512, 1, 1u << 20,
-                                      "memory limit (MB)"))
-                    << 20;
+  StorageFlags storage = storage_flags(cli, "512M");
+  std::size_t mem = storage.memory_limit;
   std::string json_path =
       cli.str_flag("json", "", "dump machine-readable results to this file");
   cli.finish();
@@ -50,6 +49,8 @@ int main(int argc, char** argv) {
     std::size_t stutters = 0, steps = 0, violations = 0;
     verify::CheckOptions<runtime::AsyncSystem> copts;
     copts.memory_limit = mem;
+    copts.hash_compact = storage.hash_compact;
+    copts.spill = storage.spill;
     copts.want_trace = false;
     copts.edge_check = [&](const runtime::AsyncState& a,
                            const runtime::AsyncState& b,

@@ -30,6 +30,7 @@
 #include "sem/rendezvous.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
+#include "support/storage_cli.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "verify/bitstate.hpp"
@@ -47,17 +48,19 @@ std::string cell(const verify::CheckResult& r) {
 }
 
 template <class Sys>
-verify::CheckResult run(const Sys& sys, std::size_t mem, unsigned jobs,
-                        unsigned shards, verify::SymmetryMode symmetry,
-                        verify::PorMode por,
+verify::CheckResult run(const Sys& sys, const StorageFlags& storage,
+                        unsigned jobs, unsigned shards,
+                        verify::SymmetryMode symmetry, verify::PorMode por,
                         verify::CompressionMode compress,
                         std::size_t expect_states) {
   verify::CheckOptions<Sys> opts;
-  opts.memory_limit = mem;
+  opts.memory_limit = storage.memory_limit;
   opts.want_trace = false;
   opts.symmetry = symmetry;
   opts.por = por;
   opts.compress = compress;
+  opts.hash_compact = storage.hash_compact;
+  opts.spill = storage.spill;
   opts.expected_states = expect_states;
   return jobs <= 1 ? verify::explore(sys, opts)
                    : verify::par_explore(sys, opts, jobs, shards);
@@ -83,10 +86,7 @@ verify::CheckResult run_bitstate(const Sys& sys, std::size_t mem,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  std::size_t mem =
-      static_cast<std::size_t>(cli.uint_flag("mem-mb", 64, 1, 1u << 20,
-                                             "memory limit per run (MB)"))
-      << 20;
+  StorageFlags storage = storage_flags(cli, "64M");
   bool extend = cli.bool_flag("extended", true,
                               "also run N beyond the paper's table");
   auto jobs = static_cast<unsigned>(cli.uint_flag(
@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
       "por", "off", "partial-order reduction: off | ample");
   bool bitstate = cli.bool_flag(
       "bitstate", false,
-      "approximate supertrace search (mem-mb becomes the bit-array size)");
+      "approximate supertrace search (--mem becomes the bit-array size)");
   std::string compress_arg = cli.str_flag(
       "compress", "off", "state-vector compression: off | collapse");
   auto expect_states = static_cast<std::size_t>(cli.uint_flag(
@@ -129,9 +129,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("Table 3: states visited / seconds for reachability analysis\n");
-  std::printf("(verifications limited to %zu MB of state memory, %u job%s%s)\n\n",
-              mem >> 20, jobs, jobs == 1 ? "" : "s",
-              bitstate ? ", bitstate" : "");
+  std::printf("(verifications limited to %zu MB of state memory, %u job%s%s%s%s)\n\n",
+              storage.memory_limit >> 20, jobs, jobs == 1 ? "" : "s",
+              bitstate ? ", bitstate" : "",
+              storage.hash_compact ? ", hash-compact" : "",
+              storage.arena ? ", spill" : "");
 
   Table table({"Protocol", "N", "Asynchronous protocol",
                "Rendezvous protocol"});
@@ -156,6 +158,10 @@ int main(int argc, char** argv) {
         .field("transitions", r.transitions)
         .field("seconds", r.seconds)
         .field("memory_bytes", r.memory_bytes)
+        .field("hash_compact", storage.hash_compact)
+        .field("omission_probability", r.omission_probability)
+        .field("spill_bytes", r.spill_bytes)
+        .field("waste_bytes", r.waste_bytes)
         .field("pool_bytes", r.pool_bytes)
         .field("raw_pool_bytes", r.raw_pool_bytes)
         .field("compression_ratio",
@@ -170,12 +176,14 @@ int main(int argc, char** argv) {
     auto rp = refine::refine(p);
     for (int n : ns) {
       auto rv = bitstate
-                    ? run_bitstate(sem::RendezvousSystem(p, n), mem, *symmetry)
-                    : run(sem::RendezvousSystem(p, n), mem, jobs, shards,
+                    ? run_bitstate(sem::RendezvousSystem(p, n),
+                                   storage.memory_limit, *symmetry)
+                    : run(sem::RendezvousSystem(p, n), storage, jobs, shards,
                           *symmetry, *por, *compress, expect_states);
       auto as = bitstate
-                    ? run_bitstate(runtime::AsyncSystem(rp, n), mem, *symmetry)
-                    : run(runtime::AsyncSystem(rp, n), mem, jobs, shards,
+                    ? run_bitstate(runtime::AsyncSystem(rp, n),
+                                   storage.memory_limit, *symmetry)
+                    : run(runtime::AsyncSystem(rp, n), storage, jobs, shards,
                           *symmetry, *por, *compress, expect_states);
       record(name, n, "rendezvous", rv);
       record(name, n, "asynchronous", as);

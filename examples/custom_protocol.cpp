@@ -18,6 +18,7 @@
 #include "runtime/async_system.hpp"
 #include "sem/rendezvous.hpp"
 #include "support/cli.hpp"
+#include "support/storage_cli.hpp"
 #include "verify/bitstate.hpp"
 #include "verify/checker.hpp"
 #include "verify/par_checker.hpp"
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   int n = static_cast<int>(
       cli.uint_flag("remotes", 2, 1, 64, "number of remotes"));
+  StorageFlags storage = storage_flags(cli, "64M");
   auto jobs = static_cast<unsigned>(cli.uint_flag(
       "jobs", 1, 1, 1024,
       "verification worker threads (1 = sequential engine)"));
@@ -149,6 +151,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   verify::CheckOptions<sem::RendezvousSystem> rv_opts;
+  rv_opts.memory_limit = storage.memory_limit;
+  rv_opts.hash_compact = storage.hash_compact;
+  rv_opts.spill = storage.spill;
   rv_opts.symmetry = *symmetry;
   rv_opts.compress = *compress;
   auto rv = jobs <= 1 ? verify::explore(rendezvous, rv_opts)
@@ -179,6 +184,9 @@ int main(int argc, char** argv) {
     }
   }
   verify::CheckOptions<runtime::AsyncSystem> opts;
+  opts.memory_limit = storage.memory_limit;
+  opts.hash_compact = storage.hash_compact;
+  opts.spill = storage.spill;
   opts.symmetry = *symmetry;
   // The Equation-1 edge check must see every edge, so the engine downgrades
   // --por ample here and says so in the note.

@@ -16,6 +16,7 @@
 #include "sem/rendezvous.hpp"
 #include "sim/simulator.hpp"
 #include "support/cli.hpp"
+#include "support/storage_cli.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "verify/bitstate.hpp"
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
       cli.uint_flag("clients", 6, 1, 64, "number of clients"));
   int locks = static_cast<int>(cli.uint_flag(
       "acquisitions", 50, 1, 1u << 20, "lock/unlock pairs per client"));
+  StorageFlags storage = storage_flags(cli, "512M");
   auto jobs = static_cast<unsigned>(cli.uint_flag(
       "jobs", 1, 1, 1024,
       "verification worker threads (1 = sequential engine)"));
@@ -105,6 +107,9 @@ int main(int argc, char** argv) {
     if (!rb.violation.empty() || !ab.violation.empty()) return 1;
   } else {
     verify::CheckOptions<sem::RendezvousSystem> rv_opts;
+    rv_opts.memory_limit = storage.memory_limit;
+    rv_opts.hash_compact = storage.hash_compact;
+    rv_opts.spill = storage.spill;
     rv_opts.symmetry = *symmetry;
     rv_opts.compress = *compress;
     rv_opts.invariant = protocols::lock_server_invariant(p, check_n);
@@ -124,7 +129,9 @@ int main(int argc, char** argv) {
       }
     }
     verify::CheckOptions<runtime::AsyncSystem> as_opts;
-    as_opts.memory_limit = 512u << 20;
+    as_opts.memory_limit = storage.memory_limit;
+    as_opts.hash_compact = storage.hash_compact;
+    as_opts.spill = storage.spill;
     as_opts.symmetry = *symmetry;
     // Invariant + edge check force the engine to see every state and edge,
     // so --por ample is downgraded here (the note says so); the progress

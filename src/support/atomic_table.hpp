@@ -45,6 +45,7 @@
 #include <span>
 
 #include "support/contracts.hpp"
+#include "support/spill.hpp"
 #include "support/thread_pool.hpp"
 
 namespace ccref {
@@ -61,14 +62,21 @@ enum class InsertOutcome : std::uint8_t {
 /// Append-only arena: chunk k holds (chunk0 << k) bytes, so 32 chunks
 /// cover the entire 32-bit offset space with at most 2x slack. Records
 /// never straddle chunks (alloc skips to the next chunk instead — the
-/// skipped tail is already charged as part of its chunk).
+/// skipped tail is charged but never handed out; bytes_waste() reports
+/// it, together with the unused tail of the final chunk at exhaustion).
+///
+/// With a SpillPolicy carrying an arena, chunks past the RAM high-water
+/// mark — and any chunk the RAM budget refuses — come from mmap'd spill
+/// files instead of the heap; those bytes are tracked in spill_bytes(),
+/// not in the RAM budget, so exhaustion becomes a disk-space event.
 template <class Budget>
 class ChunkedBytePool {
  public:
   static constexpr std::uint32_t kNpos = 0xffffffffu;
 
-  ChunkedBytePool(Budget& budget, std::size_t chunk0_bytes)
-      : budget_(&budget) {
+  ChunkedBytePool(Budget& budget, std::size_t chunk0_bytes,
+                  SpillPolicy spill = {})
+      : budget_(&budget), spill_(spill) {
     chunk0_bits_ = 8;  // 256 B floor keeps tiny-budget tables viable
     while ((std::size_t{1} << chunk0_bits_) < chunk0_bytes) ++chunk0_bits_;
   }
@@ -77,7 +85,15 @@ class ChunkedBytePool {
   ChunkedBytePool& operator=(const ChunkedBytePool&) = delete;
 
   ~ChunkedBytePool() {
-    for (auto& c : chunks_) delete[] c.load(std::memory_order_relaxed);
+    const std::uint32_t spilled = spilled_.load(std::memory_order_relaxed);
+    for (std::size_t k = 0; k < kMaxChunks; ++k) {
+      std::byte* p = chunks_[k].load(std::memory_order_relaxed);
+      if (p == nullptr) continue;
+      if ((spilled >> k) & 1)
+        spill_.arena->unmap_chunk(p, std::size_t{1} << (chunk0_bits_ + k));
+      else
+        delete[] p;
+    }
   }
 
   /// Reserve `len` contiguous bytes; kNpos when the budget refuses the
@@ -95,10 +111,22 @@ class ChunkedBytePool {
       const std::uint64_t end = start + len;
       if (end >= kNpos) return kNpos;  // offsets must stay below kNpos
       if (!ensure_chunk(k)) return kNpos;
-      if (top_.compare_exchange_weak(cur, end, std::memory_order_relaxed))
+      if (top_.compare_exchange_weak(cur, end, std::memory_order_relaxed)) {
+        allocated_.fetch_add(len, std::memory_order_relaxed);
         return static_cast<std::uint32_t>(start);
+      }
       // CAS failure reloaded `cur`; recompute placement.
     }
+  }
+
+  /// Un-publish the most recent alloc by restoring the bump pointer to the
+  /// offset that alloc returned. Single-threaded callers only (the
+  /// sequential StateSet's insert-rollback path): with concurrent
+  /// allocators the offset may no longer be the top.
+  void rewind(std::uint32_t offset, std::size_t len) {
+    CCREF_ASSERT(top_.load(std::memory_order_relaxed) == offset + len);
+    top_.store(offset, std::memory_order_relaxed);
+    allocated_.fetch_sub(len, std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::byte* data(std::uint32_t offset) {
@@ -110,9 +138,32 @@ class ChunkedBytePool {
     return chunks_[k].load(std::memory_order_acquire) + (offset - base(k));
   }
 
-  /// Bytes of chunk memory charged against the budget so far.
+  /// Bytes of RAM chunk memory charged against the budget so far
+  /// (spilled chunks are accounted in spill_bytes(), not here).
   [[nodiscard]] std::size_t charged() const {
     return charged_.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes of chunk memory held in mmap-backed spill files.
+  [[nodiscard]] std::size_t spill_bytes() const {
+    return spill_charged_.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes actually handed out to callers (excludes skipped tails).
+  [[nodiscard]] std::size_t bytes_allocated() const {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+
+  /// Chunk bytes held (RAM + spill) but never handed out: skipped tails at
+  /// chunk seams plus the unused tail of the final chunk — the honest gap
+  /// between what the budget charges and what records occupy. Reported,
+  /// not released: the memory really is held, and with concurrent
+  /// allocators mid-CAS the tail cannot be safely reconciled away.
+  [[nodiscard]] std::size_t bytes_waste() const {
+    const std::size_t held = charged_.load(std::memory_order_relaxed) +
+                             spill_charged_.load(std::memory_order_relaxed);
+    const std::size_t out = allocated_.load(std::memory_order_relaxed);
+    return held > out ? held - out : 0;
   }
 
  private:
@@ -134,25 +185,61 @@ class ChunkedBytePool {
   [[nodiscard]] bool ensure_chunk(std::size_t k) {
     if (chunks_[k].load(std::memory_order_acquire) != nullptr) return true;
     const std::size_t bytes = std::size_t{1} << (chunk0_bits_ + k);
-    if (!budget_->try_reserve(bytes)) return false;
-    auto* fresh = new std::byte[bytes];
+    // Tier choice: RAM below the watermark, spill above it or when RAM is
+    // refused, RAM again if spill is refused (disk full) but headroom
+    // remains — only when all tiers refuse is the pool exhausted.
+    std::byte* fresh = nullptr;
+    bool spilled = false;
+    const bool past_watermark =
+        spill_.arena != nullptr &&
+        budget_->used() + bytes > spill_.ram_watermark;
+    if (!past_watermark && budget_->try_reserve(bytes))
+      fresh = new std::byte[bytes];
+    if (fresh == nullptr && spill_.arena != nullptr) {
+      fresh = spill_.arena->map_chunk(bytes);
+      spilled = fresh != nullptr;
+    }
+    if (fresh == nullptr && past_watermark && budget_->try_reserve(bytes))
+      fresh = new std::byte[bytes];
+    if (fresh == nullptr) return false;
     std::byte* expected = nullptr;
     if (chunks_[k].compare_exchange_strong(expected, fresh,
                                            std::memory_order_release,
                                            std::memory_order_acquire)) {
-      charged_.fetch_add(bytes, std::memory_order_relaxed);
+      if (spilled) {
+        spilled_.fetch_or(std::uint32_t{1} << k, std::memory_order_relaxed);
+        spill_charged_.fetch_add(bytes, std::memory_order_relaxed);
+        // The previous spill chunk stops being the append target the
+        // moment a bigger one exists: schedule writeback and let the
+        // kernel drop its resident pages (reads fault back from the page
+        // cache, so a concurrent slow writer loses nothing).
+        if (k > 0 &&
+            ((spilled_.load(std::memory_order_relaxed) >> (k - 1)) & 1))
+          spill_.arena->note_cold(
+              chunks_[k - 1].load(std::memory_order_acquire), bytes >> 1);
+      } else {
+        charged_.fetch_add(bytes, std::memory_order_relaxed);
+      }
       return true;
     }
-    // Lost the installation race; undo our reservation.
-    delete[] fresh;
-    budget_->release(bytes);
+    // Lost the installation race; undo our allocation.
+    if (spilled)
+      spill_.arena->unmap_chunk(fresh, bytes);
+    else {
+      delete[] fresh;
+      budget_->release(bytes);
+    }
     return true;
   }
 
   Budget* budget_;
+  SpillPolicy spill_;
   unsigned chunk0_bits_ = 8;
   std::atomic<std::uint64_t> top_{0};
   std::atomic<std::size_t> charged_{0};
+  std::atomic<std::size_t> spill_charged_{0};
+  std::atomic<std::size_t> allocated_{0};
+  std::atomic<std::uint32_t> spilled_{0};  // bit k: chunk k is spill-backed
   std::array<std::atomic<std::byte*>, kMaxChunks> chunks_{};
 };
 
@@ -177,9 +264,10 @@ class AtomicByteTable {
   /// slot array is charged unconditionally — a table that cannot afford
   /// its floor is born exhausted, not born lying (see MemoryBudget::charge).
   AtomicByteTable(Budget& budget, std::size_t initial_slots,
-                  std::size_t chunk0_bytes, bool track_parents)
+                  std::size_t chunk0_bytes, bool track_parents,
+                  SpillPolicy spill = {})
       : budget_(&budget),
-        pool_(budget, chunk0_bytes),
+        pool_(budget, chunk0_bytes, spill),
         track_parents_(track_parents) {
     std::size_t n = 64;
     while (n < initial_slots) n <<= 1;
@@ -249,10 +337,17 @@ class AtomicByteTable {
     return payload_bytes_.load(std::memory_order_relaxed);
   }
 
-  /// Bytes charged to the budget: slot array(s) plus pool chunks.
+  /// Bytes charged to the budget: slot array(s) plus RAM pool chunks.
   [[nodiscard]] std::size_t charged() const {
     return slots_charged_.load(std::memory_order_relaxed) + pool_.charged();
   }
+
+  /// Bytes of record storage held in mmap-backed spill files.
+  [[nodiscard]] std::size_t spill_bytes() const { return pool_.spill_bytes(); }
+
+  /// Pool bytes held but never occupied by a record (chunk-seam skips and
+  /// the final chunk's tail).
+  [[nodiscard]] std::size_t waste_bytes() const { return pool_.bytes_waste(); }
 
  private:
   static constexpr std::uint64_t kPendingBit = 1ull << 63;

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "support/contracts.hpp"
 #include "support/strings.hpp"
@@ -15,6 +16,28 @@ std::optional<std::uint64_t> parse_uint(std::string_view text,
   auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
                                    value, 10);
   if (ec != std::errc() || ptr != text.data() + text.size()) return {};
+  if (value < min || value > max) return {};
+  return value;
+}
+
+std::optional<std::uint64_t> parse_size(std::string_view text,
+                                        std::uint64_t min, std::uint64_t max) {
+  if (text.empty()) return {};
+  std::uint64_t mult = 1;
+  switch (text.back()) {
+    case 'K': case 'k': mult = std::uint64_t{1} << 10; break;
+    case 'M': case 'm': mult = std::uint64_t{1} << 20; break;
+    case 'G': case 'g': mult = std::uint64_t{1} << 30; break;
+    case 'T': case 't': mult = std::uint64_t{1} << 40; break;
+    default: break;
+  }
+  if (mult != 1) text.remove_suffix(1);
+  // Pre-dividing the cap by the multiplier makes the overflow check exact:
+  // any digits value above max/mult would overflow or bust the range.
+  auto digits =
+      parse_uint(text, 0, std::numeric_limits<std::uint64_t>::max() / mult);
+  if (!digits) return {};
+  const std::uint64_t value = *digits * mult;
   if (value < min || value > max) return {};
   return value;
 }
@@ -77,6 +100,20 @@ std::uint64_t Cli::uint_flag(std::string_view name, std::uint64_t def,
   std::fprintf(stderr,
                "%s: bad value for --%.*s: '%s' (expected integer in "
                "[%llu, %llu])\n",
+               program_.c_str(), static_cast<int>(name.size()), name.data(),
+               v.c_str(), static_cast<unsigned long long>(min),
+               static_cast<unsigned long long>(max));
+  std::exit(2);
+}
+
+std::uint64_t Cli::size_flag(std::string_view name, std::string_view def,
+                             std::uint64_t min, std::uint64_t max,
+                             std::string_view help) {
+  std::string v = str_flag(name, def, help);
+  if (auto parsed = parse_size(v, min, max)) return *parsed;
+  std::fprintf(stderr,
+               "%s: bad value for --%.*s: '%s' (expected bytes with an "
+               "optional K/M/G/T suffix, in [%llu, %llu])\n",
                program_.c_str(), static_cast<int>(name.size()), name.data(),
                v.c_str(), static_cast<unsigned long long>(min),
                static_cast<unsigned long long>(max));

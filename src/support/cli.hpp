@@ -22,6 +22,14 @@ namespace ccref {
                                                       std::uint64_t min,
                                                       std::uint64_t max);
 
+/// Byte-size parse on top of parse_uint: a whole-string unsigned value with
+/// an optional binary suffix K/M/G/T (either case), e.g. "512M" = 512 MiB,
+/// "64k" = 64 KiB. Rejects bare suffixes, trailing junk ("5GB"), values
+/// whose multiplication would overflow, and results outside [min, max].
+[[nodiscard]] std::optional<std::uint64_t> parse_size(std::string_view text,
+                                                      std::uint64_t min,
+                                                      std::uint64_t max);
+
 class Cli {
  public:
   Cli(int argc, char** argv);
@@ -43,6 +51,12 @@ class Cli {
   [[nodiscard]] std::string str_flag(std::string_view name,
                                      std::string_view def,
                                      std::string_view help = "");
+  /// Byte-size flag accepting K/M/G/T suffixes ("--mem 512M"); `def` is the
+  /// default spelled the same way (e.g. "64M") so --help shows the idiom.
+  [[nodiscard]] std::uint64_t size_flag(std::string_view name,
+                                        std::string_view def,
+                                        std::uint64_t min, std::uint64_t max,
+                                        std::string_view help = "");
 
   /// Call after all flags are declared: rejects unknown flags, handles
   /// --help (prints usage and exits 0).

@@ -37,7 +37,12 @@ class JsonObject {
   }
   JsonObject& field(const std::string& key, double value) {
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    // Fixed-point for human-scale values; scientific below the %.6f floor
+    // so omission probabilities like 5e-11 don't flatten to 0.000000.
+    if (value != 0.0 && value < 1e-6 && value > -1e-6)
+      std::snprintf(buf, sizeof(buf), "%.6e", value);
+    else
+      std::snprintf(buf, sizeof(buf), "%.6f", value);
     add(key, buf);
     return *this;
   }

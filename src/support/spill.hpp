@@ -1,0 +1,99 @@
+// mmap-backed spill tier for append-only byte pools.
+//
+// Table 3 caps verifications at 64 MB of *state memory*; once the visited
+// set outgrows that, the run ends in `Unfinished`. A SpillArena lets the
+// chunked pools (state payloads, COLLAPSE dictionaries) place whole chunks
+// in file-backed mmap regions instead of RAM once a configurable high-water
+// mark is reached, so exploration degrades to disk bandwidth instead of
+// giving up: the RAM budget keeps covering the random-access structures
+// (hash tables, entry indices) while the append-mostly pools overflow to
+// disk.
+//
+// Design notes:
+//   * Each chunk is its own file, created O_EXCL under the arena directory,
+//     sized with ftruncate, mapped MAP_SHARED, then unlinked immediately —
+//     the kernel keeps the blocks alive until munmap, and a crashed run
+//     leaks no files.
+//   * Eviction is advisory: note_cold() runs msync(MS_ASYNC) followed by
+//     madvise(MADV_DONTNEED). For a MAP_SHARED file mapping this drops the
+//     resident pages (dirty ones are written back first), while later reads
+//     fault them back from the page cache / disk — data is never lost, only
+//     demoted. The pools call it when a chunk stops being the append target.
+//   * Accounting is separate from the RAM MemoryBudget: spill_bytes() is
+//     reported alongside ram bytes, and `max_bytes` turns disk exhaustion
+//     into a refused map_chunk() — the caller then reports Unfinished with
+//     honest numbers, exactly like RAM exhaustion.
+//
+// Thread-safe: map/unmap take a mutex (chunk allocation is rare — pools
+// allocate geometrically growing chunks); note_cold is lock-free.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+
+namespace ccref {
+
+class SpillArena {
+ public:
+  /// Create (if needed) `dir` and anchor all spill files there. `max_bytes`
+  /// caps the total mapped spill size; 0 means unlimited. Check ok() before
+  /// use: a directory that cannot be created leaves the arena dead (every
+  /// map_chunk refuses), which callers surface as an option error.
+  explicit SpillArena(
+      std::string dir,
+      std::size_t max_bytes = std::numeric_limits<std::size_t>::max());
+  ~SpillArena();
+
+  SpillArena(const SpillArena&) = delete;
+  SpillArena& operator=(const SpillArena&) = delete;
+
+  /// True when the directory exists and a probe file could be created.
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  /// Map a fresh zero-filled chunk of `bytes` (page-rounded internally);
+  /// nullptr when the arena is dead, the cap would be exceeded, or the
+  /// filesystem refuses (ENOSPC and friends — disk exhaustion is a normal
+  /// outcome here, not a crash).
+  [[nodiscard]] std::byte* map_chunk(std::size_t bytes);
+
+  /// Unmap a chunk previously returned by map_chunk.
+  void unmap_chunk(std::byte* p, std::size_t bytes);
+
+  /// Advise the kernel that `[p, p+bytes)` will not be appended to again:
+  /// schedule writeback and drop the resident pages. Reads remain valid.
+  void note_cold(std::byte* p, std::size_t bytes);
+
+  /// Bytes currently mapped from spill files.
+  [[nodiscard]] std::size_t spill_bytes() const {
+    return mapped_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t limit() const { return max_bytes_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  std::size_t max_bytes_;
+  bool ok_ = false;
+  std::mutex mutex_;
+  std::uint64_t next_id_ = 0;
+  std::atomic<std::size_t> mapped_{0};
+};
+
+/// Spill routing for a chunked pool: with a non-null arena, chunk
+/// allocations past `ram_watermark` bytes of budget use — and any
+/// allocation the RAM budget refuses — come from the arena instead of the
+/// heap. The default (null arena) keeps every pool purely RAM-resident.
+struct SpillPolicy {
+  SpillArena* arena = nullptr;
+  /// Budget-use level (bytes) past which fresh chunks go to spill even if
+  /// RAM headroom remains. Keeping this below the RAM limit leaves room
+  /// for the tables/indices that cannot spill.
+  std::size_t ram_watermark = std::numeric_limits<std::size_t>::max();
+};
+
+}  // namespace ccref

@@ -59,6 +59,19 @@ struct CheckResult {
   /// Summed raw encoding sizes of the stored states — what the pool would
   /// hold uncompressed. pool_bytes/raw_pool_bytes is the compression ratio.
   std::size_t raw_pool_bytes = 0;
+  /// Bytes of state storage held in mmap-backed spill files (0 without a
+  /// spill directory). Not part of memory_bytes: that is the RAM story.
+  std::size_t spill_bytes = 0;
+  /// Pool chunk bytes held (RAM or spill) but never occupied by records —
+  /// chunk-seam skips plus final-chunk tails. The honest gap between
+  /// memory charged and memory used by actual data.
+  std::size_t waste_bytes = 0;
+  /// Hash compaction only: birthday-bound probability that at least one
+  /// distinct state was omitted because its 64-bit fingerprint collided
+  /// (~states²/2⁶⁵). Zero for the exact storage tiers. Violation verdicts
+  /// and their traces are exact regardless — only Ok's state count
+  /// carries this caveat.
+  double omission_probability = 0;
   double seconds = 0;
   std::string violation;           // message for violated invariant
   std::string note;                // engine notes (e.g. a POR downgrade)
@@ -92,6 +105,21 @@ struct CheckOptions {
   /// per-class dictionaries and pools only index tuples (collapse.hpp).
   /// Verdicts and state/transition counts are unchanged; pool bytes shrink.
   CompressionMode compress = CompressionMode::Off;
+  /// Hash-compaction storage tier: one 64-bit fingerprint per state
+  /// instead of (collapsed) bytes — ~11 B/state against ~60 raw. States
+  /// whose fingerprints collide dedupe, so Ok runs carry
+  /// CheckResult::omission_probability; violation verdicts stay exact
+  /// (traces re-concretize by replaying real transitions). Makes
+  /// `compress` moot — noted in CheckResult::note when both are set.
+  bool hash_compact = false;
+  /// Fingerprint override for hash compaction (tests stub deterministic
+  /// collisions); null uses the engine's hash.
+  FingerprintFn fingerprint = nullptr;
+  /// Chunked pools (state/tuple/dictionary storage) allocate past
+  /// spill.ram_watermark — or whenever RAM refuses — from mmap-backed
+  /// files in the SpillArena instead of the heap. Default: no arena, RAM
+  /// only. The random-access tables stay in RAM either way.
+  SpillPolicy spill;
   /// Pre-size the visited set's hash table for this many states (0: grow on
   /// demand). The charge is taken up front, capped at half the budget.
   std::size_t expected_states = 0;
@@ -238,6 +266,58 @@ std::vector<std::string> replay_chain(
   return labels;
 }
 
+/// One step of fingerprint-based trace replay: advance `cur` to the
+/// successor whose (canonical) encoding fingerprints to `child_fp`. Under
+/// hash compaction the visited set kept no state bytes, only fingerprints
+/// — but every step taken here is a real transition enumerated from a
+/// concrete state, so the resulting trace is a genuine path of the system;
+/// the fingerprints only SELECT among the real successors. (A mid-chain
+/// fingerprint collision could select a different genuine successor; the
+/// violation itself was established on the concrete state at exploration
+/// time, so the endpoint is never fabricated.)
+template <class Sys>
+void append_step_label_fp(const Sys& sys, typename Sys::State& cur,
+                          std::uint64_t child_fp, FingerprintFn fp,
+                          SymmetryMode symmetry, ByteSink& sink,
+                          std::vector<std::string>& labels) {
+  for (auto& [succ, label] : sys.successors(cur)) {
+    sink.clear();
+    if constexpr (HasCanonicalize<Sys>) {
+      if (symmetry == SymmetryMode::Canonical) {
+        auto rep = succ;
+        sys.canonicalize(rep);
+        sys.encode(rep, sink);
+      } else {
+        sys.encode(succ, sink);
+      }
+    } else {
+      sys.encode(succ, sink);
+    }
+    if (fp(sink.bytes()) != child_fp) continue;
+    labels.push_back(label.text + "  =>  " + sys.describe(succ));
+    cur = std::move(succ);
+    return;
+  }
+  labels.push_back("<trace reconstruction failed>");
+}
+
+/// Replay a root-first fingerprint chain into trace labels, starting from
+/// the system's concrete initial state. Shared by the sequential and
+/// sharded hash-compaction reconstructions.
+template <class Sys>
+std::vector<std::string> replay_fp_chain(const Sys& sys,
+                                         const std::vector<std::uint64_t>& fps,
+                                         FingerprintFn fp,
+                                         SymmetryMode symmetry) {
+  std::vector<std::string> labels;
+  auto cur = sys.initial();
+  labels.push_back("initial: " + sys.describe(cur));
+  ByteSink sink;
+  for (std::size_t i = 1; i < fps.size(); ++i)
+    append_step_label_fp(sys, cur, fps[i], fp, symmetry, sink, labels);
+  return labels;
+}
+
 /// Recompute the label sequence root -> `target` by replaying successor
 /// enumeration along the BFS parent chain. The chain copies each state's
 /// bytes: under Collapse, seen.at() re-expands into a scratch buffer that
@@ -367,8 +447,20 @@ template <class Sys>
                                   const CheckOptions<Sys>& opts = {}) {
   auto t0 = std::chrono::steady_clock::now();
   CheckResult result;
-  CollapsedStateSet seen(opts.memory_limit, opts.compress,
-                         opts.expected_states);
+  StorageOptions st{.compress = opts.compress,
+                    .hash_compact = opts.hash_compact,
+                    .fingerprint = opts.fingerprint,
+                    // The fingerprint log exists only to re-concretize
+                    // counterexamples; skip its 8 B/state when no trace is
+                    // wanted.
+                    .keep_fingerprints = opts.hash_compact && opts.want_trace,
+                    .spill = opts.spill,
+                    .expected_states = opts.expected_states};
+  if (opts.hash_compact && opts.compress != CompressionMode::Off)
+    result.note =
+        "compress ignored under hash compaction: fingerprints leave no "
+        "stored bytes to compress";
+  CollapsedStateSet seen(opts.memory_limit, st);
   std::vector<std::uint32_t> parent;
 
   auto finish = [&](Status status) {
@@ -377,6 +469,10 @@ template <class Sys>
     result.memory_bytes = seen.memory_used();
     result.pool_bytes = seen.stored_bytes();
     result.raw_pool_bytes = seen.raw_bytes();
+    result.spill_bytes = seen.spill_bytes();
+    result.waste_bytes = seen.waste_bytes();
+    if (opts.hash_compact)
+      result.omission_probability = omission_bound(seen.size());
     result.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -385,9 +481,22 @@ template <class Sys>
 
   auto fail_at = [&](Status status, std::uint32_t index, std::string msg) {
     result.violation = std::move(msg);
-    if (opts.want_trace)
-      result.trace =
-          detail::rebuild_trace(sys, seen, parent, index, opts.symmetry);
+    if (opts.want_trace) {
+      if (opts.hash_compact) {
+        std::vector<std::uint64_t> fps;
+        for (std::uint32_t at = index; at != 0xffffffffu; at = parent[at])
+          fps.push_back(seen.fingerprint_at(at));
+        std::reverse(fps.begin(), fps.end());
+        result.trace = detail::replay_fp_chain(
+            sys, fps,
+            opts.fingerprint != nullptr ? opts.fingerprint
+                                        : &default_fingerprint,
+            opts.symmetry);
+      } else {
+        result.trace =
+            detail::rebuild_trace(sys, seen, parent, index, opts.symmetry);
+      }
+    }
     return finish(status);
   };
 
@@ -402,7 +511,8 @@ template <class Sys>
   PorMode por = opts.por;
   if (por == PorMode::Ample && (opts.invariant || opts.edge_check)) {
     por = PorMode::Off;
-    result.note =
+    if (!result.note.empty()) result.note += "; ";
+    result.note +=
         "por downgraded to off: invariants/edge checks must see every "
         "reachable state and edge";
   }

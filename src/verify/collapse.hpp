@@ -44,6 +44,7 @@
 #include <array>
 #include <atomic>
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -52,7 +53,9 @@
 
 #include "support/atomic_table.hpp"
 #include "support/bytes.hpp"
+#include "support/spill.hpp"
 #include "support/thread_pool.hpp"
+#include "verify/fingerprint_set.hpp"
 #include "verify/state_set.hpp"
 
 namespace ccref::verify {
@@ -78,6 +81,44 @@ enum class CompressionMode : std::uint8_t {
   return std::nullopt;
 }
 
+/// Fingerprint function for hash compaction. A plain function pointer so
+/// tests can stub a colliding hash deterministically; null means the
+/// engine's hash_bytes.
+using FingerprintFn = std::uint64_t (*)(std::span<const std::byte>);
+
+[[nodiscard]] inline std::uint64_t default_fingerprint(
+    std::span<const std::byte> bytes) {
+  return hash_bytes(bytes);
+}
+
+/// Storage-tier routing for a visited set, assembled by the checkers from
+/// CheckOptions and threaded to every set/shard/dictionary: which
+/// compression tier stores states, whether hash compaction replaces byte
+/// storage entirely, and where chunked pools overflow once RAM runs out.
+struct StorageOptions {
+  /// The pre-StorageOptions ctor surface (mode + hint only), kept so the
+  /// liveness/progress callers and older tests read unchanged.
+  [[nodiscard]] static StorageOptions legacy(CompressionMode mode,
+                                             std::size_t expected_states) {
+    StorageOptions st;
+    st.compress = mode;
+    st.expected_states = expected_states;
+    return st;
+  }
+
+  CompressionMode compress = CompressionMode::Off;
+  /// Store a 64-bit fingerprint per state instead of (collapsed) bytes.
+  /// Under compaction `compress` is moot — there are no pooled bytes left
+  /// to compress — and the checkers record a note when both are requested.
+  bool hash_compact = false;
+  FingerprintFn fingerprint = nullptr;  // null: default_fingerprint
+  /// Keep the insertion-ordered fingerprint list (4+8 bytes/state extra)
+  /// so counterexample traces can be re-concretized by fingerprint replay.
+  bool keep_fingerprints = false;
+  SpillPolicy spill;
+  std::size_t expected_states = 0;
+};
+
 class CollapsedStateSet {
  public:
   using Outcome = StateSet::Outcome;
@@ -86,10 +127,20 @@ class CollapsedStateSet {
   explicit CollapsedStateSet(std::size_t memory_limit_bytes,
                              CompressionMode mode = CompressionMode::Off,
                              std::size_t expected_states = 0)
+      : CollapsedStateSet(memory_limit_bytes,
+                          StorageOptions::legacy(mode, expected_states)) {}
+
+  /// Owning constructor with full storage routing.
+  CollapsedStateSet(std::size_t memory_limit_bytes, const StorageOptions& st)
       : owned_(std::make_unique<MemoryBudget>(memory_limit_bytes)),
         budget_(owned_.get()),
-        mode_(mode),
-        tuples_(*budget_, expected_states) {}
+        st_(st),
+        mode_(st.compress),
+        tuples_(*budget_, st.hash_compact ? 0 : st.expected_states,
+                st.hash_compact ? kDictSlots : kTableSlots, st.spill) {
+    if (st_.hash_compact)
+      fps_ = std::make_unique<FingerprintSet>(*budget_, st_.expected_states);
+  }
 
   /// Shard constructor: draw on a budget shared with sibling sets (the
   /// caller keeps `budget` alive). Dictionaries are then per-shard too —
@@ -97,10 +148,32 @@ class CollapsedStateSet {
   /// need to agree on indices.
   CollapsedStateSet(MemoryBudget& budget, CompressionMode mode,
                     std::size_t expected_states = 0)
-      : budget_(&budget), mode_(mode), tuples_(budget, expected_states) {}
+      : CollapsedStateSet(budget,
+                          StorageOptions::legacy(mode, expected_states)) {}
+
+  CollapsedStateSet(MemoryBudget& budget, const StorageOptions& st)
+      : budget_(&budget),
+        st_(st),
+        mode_(st.compress),
+        tuples_(budget, st.hash_compact ? 0 : st.expected_states,
+                st.hash_compact ? kDictSlots : kTableSlots, st.spill) {
+    if (st_.hash_compact)
+      fps_ = std::make_unique<FingerprintSet>(*budget_, st_.expected_states);
+  }
+
+  ~CollapsedStateSet() {
+    // Hand back the window and fingerprint-log charges so sibling sets on
+    // a shared budget see the true headroom (everything else releases via
+    // its own destructor or is owned by the budget's owner).
+    budget_->release(window_charged_ + fp_charged_);
+  }
+
+  CollapsedStateSet(const CollapsedStateSet&) = delete;
+  CollapsedStateSet& operator=(const CollapsedStateSet&) = delete;
 
   [[nodiscard]] InsertResult insert(std::span<const std::byte> state,
                                     std::span<const ComponentMark> marks = {}) {
+    if (st_.hash_compact) return insert_compacted(state);
     if (mode_ == CompressionMode::Off) {
       auto r = tuples_.insert(state);
       if (r.outcome == Outcome::Inserted) raw_bytes_ += state.size();
@@ -116,6 +189,7 @@ class CollapsedStateSet {
   [[nodiscard]] InsertResult insert(std::span<const std::byte> state,
                                     std::span<const ComponentMark> marks,
                                     std::uint64_t raw_hash) {
+    if (st_.hash_compact) return insert_compacted(state);
     if (mode_ == CompressionMode::Off) {
       auto r = tuples_.insert(state, raw_hash);
       if (r.outcome == Outcome::Inserted) raw_bytes_ += state.size();
@@ -126,8 +200,20 @@ class CollapsedStateSet {
 
   /// Raw encoding of a stored state. Off: a stable span into the pool.
   /// Collapse: the tuple re-expanded through the dictionaries into a scratch
-  /// buffer — valid only until the next at() call on this set.
+  /// buffer — valid only until the next at() call on this set. Hash-compact:
+  /// only the BFS cursor's state is retrievable — the window holds fresh
+  /// states between insertion and expansion, and at(cursor) consumes the
+  /// front; anything older exists only as a fingerprint.
   [[nodiscard]] std::span<const std::byte> at(std::uint32_t index) const {
+    if (st_.hash_compact) {
+      CCREF_REQUIRE(index == window_head_ && !window_.empty());
+      scratch_.assign(window_.front().begin(), window_.front().end());
+      budget_->release(window_.front().size());
+      window_charged_ -= window_.front().size();
+      window_.pop_front();
+      ++window_head_;
+      return scratch_;
+    }
     if (mode_ == CompressionMode::Off) return tuples_.at(index);
     ByteSource src(tuples_.at(index));
     scratch_.clear();
@@ -140,15 +226,28 @@ class CollapsedStateSet {
   }
 
   [[nodiscard]] std::uint64_t hash_at(std::uint32_t index) const {
+    CCREF_REQUIRE(!st_.hash_compact);
     return tuples_.hash_at(index);
   }
 
-  [[nodiscard]] std::size_t size() const { return tuples_.size(); }
+  /// Fingerprint of the index-th inserted state (hash-compact runs with
+  /// keep_fingerprints — the trace-replay fallback).
+  [[nodiscard]] std::uint64_t fingerprint_at(std::uint32_t index) const {
+    CCREF_REQUIRE(st_.hash_compact && st_.keep_fingerprints);
+    CCREF_REQUIRE(index < fp_order_.size());
+    return fp_order_[index];
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return st_.hash_compact ? fps_->size() : tuples_.size();
+  }
 
   [[nodiscard]] std::size_t memory_used() const {
     std::size_t total = tuples_.memory_used();
     for (const auto& d : dicts_)
       if (d) total += d->memory_used();
+    if (fps_) total += fps_->memory_used();
+    total += window_charged_ + fp_charged_;
     return total;
   }
 
@@ -158,17 +257,37 @@ class CollapsedStateSet {
 
   [[nodiscard]] CompressionMode mode() const { return mode_; }
 
+  [[nodiscard]] bool hash_compact() const { return st_.hash_compact; }
+
   /// Bytes the pool would hold uncompressed: the summed raw encoding sizes
   /// of every stored state (Off: exactly pool_bytes()).
   [[nodiscard]] std::size_t raw_bytes() const { return raw_bytes_; }
 
   /// Bytes actually spent storing states: tuple pool plus the complete
   /// dictionary footprint (entries and tables included — the honest side of
-  /// the raw_bytes() comparison).
+  /// the raw_bytes() comparison). Hash-compact: the fingerprint table.
   [[nodiscard]] std::size_t stored_bytes() const {
+    if (st_.hash_compact) return fps_->memory_used();
     std::size_t total = tuples_.pool_bytes();
     for (const auto& d : dicts_)
       if (d) total += d->memory_used();
+    return total;
+  }
+
+  /// Bytes held in mmap-backed spill files across the tuple pool and every
+  /// dictionary pool.
+  [[nodiscard]] std::size_t spill_bytes() const {
+    std::size_t total = tuples_.spill_bytes();
+    for (const auto& d : dicts_)
+      if (d) total += d->spill_bytes();
+    return total;
+  }
+
+  /// Chunk bytes held but never occupied by records, across all pools.
+  [[nodiscard]] std::size_t waste_bytes() const {
+    std::size_t total = tuples_.waste_bytes();
+    for (const auto& d : dicts_)
+      if (d) total += d->waste_bytes();
     return total;
   }
 
@@ -177,8 +296,48 @@ class CollapsedStateSet {
   // more); dictionaries are created on first use.
   static constexpr std::size_t kMaxClasses = 16;
   // Dictionaries hold few distinct entries until a protocol is large;
-  // starting at 64 slots keeps K shards x C classes of idle tables cheap.
+  // starting at 64 slots and 256-byte pool chunks keeps K shards x C
+  // classes of idle tables cheap (chunked pools charge whole chunks, so a
+  // 4 KB floor per dictionary would dominate small budgets).
   static constexpr std::size_t kDictSlots = 64;
+  static constexpr std::size_t kDictChunk0 = 256;
+  // Default inner-table floor (StateSet's own default). Hash-compact runs
+  // shrink the unused tuple table to the dictionary floor instead.
+  static constexpr std::size_t kTableSlots = 1024;
+
+  [[nodiscard]] InsertResult insert_compacted(
+      std::span<const std::byte> state) {
+    const std::uint64_t fp =
+        (st_.fingerprint != nullptr ? st_.fingerprint
+                                    : &default_fingerprint)(state);
+    // Admit every side allocation BEFORE the fingerprint probe, because a
+    // refusal after it would need open-addressing deletion: the window
+    // copy of the state bytes plus any fp_order_ capacity growth.
+    std::size_t fp_grow = 0;
+    if (st_.keep_fingerprints && fp_order_.size() == fp_order_.capacity())
+      fp_grow = std::max<std::size_t>(fp_order_.capacity() * 2, 1024) *
+                    sizeof(std::uint64_t) -
+                fp_charged_;
+    if (!budget_->try_reserve(state.size() + fp_grow))
+      return {Outcome::Exhausted, 0};
+    auto r = fps_->insert(fp);
+    if (r.outcome != Outcome::Inserted) {
+      budget_->release(state.size() + fp_grow);
+      return {r.outcome, r.index};
+    }
+    window_.emplace_back(state.begin(), state.end());
+    window_charged_ += state.size();
+    if (st_.keep_fingerprints) {
+      if (fp_grow != 0) {
+        fp_order_.reserve(std::max<std::size_t>(fp_order_.capacity() * 2,
+                                                1024));
+        fp_charged_ += fp_grow;
+      }
+      fp_order_.push_back(fp);
+    }
+    raw_bytes_ += state.size();
+    return {Outcome::Inserted, r.index};
+  }
 
   [[nodiscard]] InsertResult insert_collapsed(
       std::span<const std::byte> state,
@@ -201,7 +360,8 @@ class CollapsedStateSet {
         CCREF_REQUIRE(structure_[slot] == cls);
       if (cls >= dicts_.size()) dicts_.resize(cls + 1);
       if (!dicts_[cls])
-        dicts_[cls] = std::make_unique<StateSet>(*budget_, 0, kDictSlots);
+        dicts_[cls] = std::make_unique<StateSet>(*budget_, 0, kDictSlots,
+                                                 st_.spill, kDictChunk0);
       auto r = dicts_[cls]->insert(state.subspan(start, end - start));
       if (r.outcome == Outcome::Exhausted) return false;
       // An interned component of a state whose insert later exhausts stays
@@ -225,6 +385,7 @@ class CollapsedStateSet {
 
   std::unique_ptr<MemoryBudget> owned_;  // null when the budget is shared
   MemoryBudget* budget_;
+  StorageOptions st_;
   CompressionMode mode_;
   StateSet tuples_;  // Off: raw encodings; Collapse: varint index tuples
   std::vector<std::unique_ptr<StateSet>> dicts_;  // indexed by class
@@ -232,6 +393,18 @@ class CollapsedStateSet {
   std::size_t raw_bytes_ = 0;
   ByteSink tuple_;  // reused per insert
   mutable std::vector<std::byte> scratch_;  // at() expansion buffer
+  // Hash-compaction state: the fingerprint table, the sliding window of
+  // not-yet-expanded state bytes (the BFS frontier — the only place full
+  // encodings still exist under compaction), and the optional insertion-
+  // ordered fingerprint log for trace replay. Window members are mutable
+  // because at() — const across the storage tiers — consumes the window
+  // front under compaction.
+  std::unique_ptr<FingerprintSet> fps_;
+  mutable std::deque<std::vector<std::byte>> window_;
+  mutable std::uint32_t window_head_ = 0;
+  mutable std::size_t window_charged_ = 0;
+  std::size_t fp_charged_ = 0;
+  std::vector<std::uint64_t> fp_order_;
 };
 
 // ---------------------------------------------------------------------------
@@ -316,8 +489,9 @@ class ConcurrentDict {
   static constexpr std::uint32_t kNone = 0xffffffffu;
   static constexpr std::size_t kFloorBytes = 64 * sizeof(std::uint64_t);
 
-  ConcurrentDict(MemoryBudget& budget, std::size_t chunk0, bool* alive)
-      : budget_(&budget), pool_(budget, chunk0) {
+  ConcurrentDict(MemoryBudget& budget, std::size_t chunk0, bool* alive,
+                 SpillPolicy spill = {})
+      : budget_(&budget), pool_(budget, chunk0, spill) {
     *alive = budget_->try_reserve(kInitialSlots * sizeof(std::uint64_t));
     if (*alive) {
       charged_.fetch_add(kInitialSlots * sizeof(std::uint64_t),
@@ -396,6 +570,12 @@ class ConcurrentDict {
   [[nodiscard]] std::size_t charged() const {
     return charged_.load(std::memory_order_relaxed) + pool_.charged();
   }
+
+  /// Component bytes held in mmap-backed spill files.
+  [[nodiscard]] std::size_t spill_bytes() const { return pool_.spill_bytes(); }
+
+  /// Pool bytes held but never occupied by an entry.
+  [[nodiscard]] std::size_t waste_bytes() const { return pool_.bytes_waste(); }
 
  private:
   static constexpr std::size_t kInitialSlots =
@@ -532,15 +712,16 @@ class ConcurrentCollapsedSet {
     std::size_t dict_chunk0 = 512;
   };
 
-  ConcurrentCollapsedSet(MemoryBudget& budget, CompressionMode mode,
+  ConcurrentCollapsedSet(MemoryBudget& budget, const StorageOptions& st,
                          bool track_parents, CollapseStructure& structure,
                          Layout layout)
       : budget_(&budget),
-        mode_(mode),
+        st_(st),
+        mode_(st.compress),
         structure_(&structure),
         layout_(layout),
         tuples_(budget, layout.table_slots, layout.table_chunk0,
-                track_parents) {
+                track_parents, st.spill) {
     for (auto& d : dicts_) d.store(nullptr, std::memory_order_relaxed);
   }
 
@@ -552,6 +733,16 @@ class ConcurrentCollapsedSet {
                                     std::span<const ComponentMark> marks,
                                     std::uint64_t raw_hash,
                                     std::uint64_t parent) {
+    if (st_.hash_compact) {
+      // `raw_hash` IS the fingerprint here — the sharded set hashes with
+      // the run's FingerprintFn under compaction — so an empty-payload
+      // record gives exact fingerprint-set semantics: tag match, then the
+      // stored full 64-bit hash, then empty==empty payload comparison.
+      auto r = tuples_.insert({}, raw_hash, parent);
+      if (r.outcome == Outcome::Inserted)
+        raw_bytes_.fetch_add(state.size(), std::memory_order_relaxed);
+      return {r.outcome, r.ref};
+    }
     if (mode_ == CompressionMode::Off) {
       auto r = tuples_.insert(state, raw_hash, parent);
       if (r.outcome == Outcome::Inserted)
@@ -595,8 +786,10 @@ class ConcurrentCollapsedSet {
 
   /// Quiescent-only. Off: stable span into the pool. Collapse: the tuple
   /// re-expanded through the dictionaries into a scratch buffer — valid
-  /// until the next at() on this shard.
+  /// until the next at() on this shard. Hash-compact records keep no
+  /// payload: traces are re-concretized by fingerprint replay instead.
   [[nodiscard]] std::span<const std::byte> at(std::uint32_t ref) const {
+    CCREF_REQUIRE(!st_.hash_compact);
     if (mode_ == CompressionMode::Off) return tuples_.at(ref);
     ByteSource src(tuples_.at(ref));
     scratch_.clear();
@@ -616,6 +809,12 @@ class ConcurrentCollapsedSet {
     return tuples_.parent_at(ref);
   }
 
+  /// Stored 64-bit hash of a record — under hash compaction this is the
+  /// state's fingerprint, the handle trace replay matches against.
+  [[nodiscard]] std::uint64_t hash_of(std::uint32_t ref) const {
+    return tuples_.hash_at(ref);
+  }
+
   [[nodiscard]] std::size_t size() const { return tuples_.size(); }
 
   [[nodiscard]] std::size_t raw_bytes() const {
@@ -624,11 +823,32 @@ class ConcurrentCollapsedSet {
 
   /// Bytes actually spent storing states: tuple payloads plus the full
   /// dictionary footprint (mirrors CollapsedStateSet::stored_bytes).
+  /// Hash-compact: the table's full charge — slots plus empty-payload
+  /// records are exactly the fingerprint storage.
   [[nodiscard]] std::size_t stored_bytes() const {
+    if (st_.hash_compact) return tuples_.charged();
     std::size_t total = tuples_.payload_bytes();
     for (const auto& d : dicts_)
       if (const auto* p = d.load(std::memory_order_acquire))
         total += p->charged();
+    return total;
+  }
+
+  /// Bytes held in mmap-backed spill files (record pool + dictionaries).
+  [[nodiscard]] std::size_t spill_bytes() const {
+    std::size_t total = tuples_.spill_bytes();
+    for (const auto& d : dicts_)
+      if (const auto* p = d.load(std::memory_order_acquire))
+        total += p->spill_bytes();
+    return total;
+  }
+
+  /// Chunk bytes held but never occupied by records, across all pools.
+  [[nodiscard]] std::size_t waste_bytes() const {
+    std::size_t total = tuples_.waste_bytes();
+    for (const auto& d : dicts_)
+      if (const auto* p = d.load(std::memory_order_acquire))
+        total += p->waste_bytes();
     return total;
   }
 
@@ -641,7 +861,8 @@ class ConcurrentCollapsedSet {
     auto& slot = dicts_[cls];
     if (ConcurrentDict* d = slot.load(std::memory_order_acquire)) return d;
     bool alive = false;
-    auto* fresh = new ConcurrentDict(*budget_, layout_.dict_chunk0, &alive);
+    auto* fresh = new ConcurrentDict(*budget_, layout_.dict_chunk0, &alive,
+                                     st_.spill);
     if (!alive) {
       delete fresh;
       return nullptr;
@@ -657,6 +878,7 @@ class ConcurrentCollapsedSet {
   }
 
   MemoryBudget* budget_;
+  StorageOptions st_;
   CompressionMode mode_;
   CollapseStructure* structure_;
   Layout layout_;

@@ -52,6 +52,21 @@ std::vector<std::string> rebuild_trace_sharded(const Sys& sys,
                                                const ShardedStateSet& seen,
                                                ShardedStateSet::Ref target,
                                                SymmetryMode symmetry) {
+  // Hash-compacted records keep no payload, but every record stores its
+  // full 64-bit fingerprint: walk the parent chain collecting fingerprints
+  // and re-concretize by fingerprint-matching real transitions from the
+  // initial state (see append_step_label_fp for the exactness argument).
+  if (seen.hash_compact()) {
+    std::vector<std::uint64_t> fps;
+    for (std::uint64_t at = ShardedStateSet::pack(target);
+         at != ShardedStateSet::kNoParent;) {
+      auto r = ShardedStateSet::unpack(at);
+      fps.push_back(seen.hash_of(r));
+      at = seen.parent_of(r);
+    }
+    std::reverse(fps.begin(), fps.end());
+    return replay_fp_chain(sys, fps, seen.fingerprint_fn(), symmetry);
+  }
   // Copy each state's bytes: under Collapse, seen.at() re-expands into a
   // per-shard scratch buffer that the next at() on that shard overwrites.
   std::vector<std::vector<std::byte>> owned;
@@ -98,9 +113,22 @@ template <class Sys>
         "por downgraded to off: invariants/edge checks must see every "
         "reachable state and edge";
   }
+  if (opts.hash_compact && opts.compress != CompressionMode::Off) {
+    if (!result.note.empty()) result.note += "; ";
+    result.note +=
+        "compress ignored under hash compaction: fingerprints leave no "
+        "stored bytes to compress";
+  }
+  // No fingerprint log here: every record stores its full 64-bit hash,
+  // which under compaction IS the fingerprint trace replay matches on.
+  StorageOptions st{.compress = opts.compress,
+                    .hash_compact = opts.hash_compact,
+                    .fingerprint = opts.fingerprint,
+                    .keep_fingerprints = false,
+                    .spill = opts.spill,
+                    .expected_states = opts.expected_states};
   ShardedStateSet seen(opts.memory_limit, shards,
-                       /*track_parents=*/opts.want_trace, opts.compress,
-                       opts.expected_states);
+                       /*track_parents=*/opts.want_trace, st);
 
   // A frontier item carries its own copy of the encoded state: under
   // Collapse, reading a state back out of the set is not concurrent-safe
@@ -287,6 +315,10 @@ template <class Sys>
   result.memory_bytes = seen.memory_used();
   result.pool_bytes = seen.stored_bytes();
   result.raw_pool_bytes = seen.raw_bytes();
+  result.spill_bytes = seen.spill_bytes();
+  result.waste_bytes = seen.waste_bytes();
+  if (opts.hash_compact)
+    result.omission_probability = omission_bound(seen.size());
   for (const auto& w : workers) result.transitions += w->transitions;
   if (failed) {
     result.violation = std::move(fail_msg);

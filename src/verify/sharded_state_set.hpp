@@ -81,7 +81,18 @@ class ShardedStateSet {
                   bool track_parents = false,
                   CompressionMode mode = CompressionMode::Off,
                   std::size_t expected_states = 0)
-      : budget_(memory_limit_bytes), track_parents_(track_parents) {
+      : ShardedStateSet(memory_limit_bytes, shard_count, track_parents,
+                        StorageOptions::legacy(mode, expected_states)) {}
+
+  /// Primary constructor with full storage-tier routing (hash compaction,
+  /// spill policy) threaded to every shard and dictionary.
+  ShardedStateSet(std::size_t memory_limit_bytes, unsigned shard_count,
+                  bool track_parents, const StorageOptions& st)
+      : budget_(memory_limit_bytes),
+        st_(st),
+        fp_(st.fingerprint != nullptr ? st.fingerprint : &default_fingerprint),
+        track_parents_(track_parents) {
+    const std::size_t expected_states = st.expected_states;
     unsigned n = 1;
     while (n < shard_count && n < kMaxShards) n <<= 1;
     shard_bits_ = 0;
@@ -110,7 +121,7 @@ class ShardedStateSet {
     shards_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
       shards_.push_back(std::make_unique<ConcurrentCollapsedSet>(
-          budget_, mode, track_parents, structure_, layout));
+          budget_, st_, track_parents, structure_, layout));
   }
 
   /// Thread-safe lock-free insert; `parent` is recorded for fresh states
@@ -122,7 +133,11 @@ class ShardedStateSet {
   [[nodiscard]] InsertResult insert(std::span<const std::byte> state,
                                     std::span<const ComponentMark> marks = {},
                                     std::uint64_t parent = kNoParent) {
-    const std::uint64_t h = hash_bytes(state);
+    // Under hash compaction the run's FingerprintFn doubles as the shard
+    // hash: computed once, it picks the shard AND becomes the stored
+    // fingerprint (shards use the high bits, tables the low bits).
+    const std::uint64_t h =
+        st_.hash_compact ? fp_(state) : hash_bytes(state);
     const auto si = static_cast<std::uint32_t>(
         shard_bits_ == 0 ? 0 : h >> (64 - shard_bits_));
     auto r = shards_[si]->insert(state, marks, h, parent);
@@ -168,10 +183,36 @@ class ShardedStateSet {
     return total;
   }
 
+  /// Quiescent-only: bytes held in mmap-backed spill files across shards.
+  [[nodiscard]] std::size_t spill_bytes() const {
+    std::size_t total = 0;
+    for (const auto& sh : shards_) total += sh->spill_bytes();
+    return total;
+  }
+
+  /// Quiescent-only: chunk bytes held but never occupied by records.
+  [[nodiscard]] std::size_t waste_bytes() const {
+    std::size_t total = 0;
+    for (const auto& sh : shards_) total += sh->waste_bytes();
+    return total;
+  }
+
+  [[nodiscard]] bool hash_compact() const { return st_.hash_compact; }
+
+  /// The resolved fingerprint function this set hashes with.
+  [[nodiscard]] FingerprintFn fingerprint_fn() const { return fp_; }
+
+  /// Stored hash of a record — the state's fingerprint under compaction.
+  [[nodiscard]] std::uint64_t hash_of(Ref r) const {
+    return shards_[r.shard]->hash_of(r.index);
+  }
+
  private:
   static constexpr unsigned kMaxShards = 256;
 
   MemoryBudget budget_;
+  StorageOptions st_;
+  FingerprintFn fp_ = &default_fingerprint;
   unsigned shard_bits_ = 0;
   bool track_parents_;
   CollapseStructure structure_;  // shared across shards (see ctor comment)

@@ -1,9 +1,9 @@
 // Memory-accounted visited-state set for explicit-state exploration.
 //
 // Open-addressing hash table over byte-encoded states, with all state bytes
-// appended to one pool. Insertion order is stable, so the set doubles as the
-// BFS queue (the cursor trick): states are numbered 0..size()-1 in discovery
-// order and retrievable by index.
+// appended to a chunked pool. Insertion order is stable, so the set doubles
+// as the BFS queue (the cursor trick): states are numbered 0..size()-1 in
+// discovery order and retrievable by index.
 //
 // Memory accounting is explicit because Table 3 of the paper reports
 // verifications "limited to 64MB of memory": insert() refuses (returns
@@ -12,6 +12,12 @@
 // be owned (sequential checker, one set) or shared (ShardedStateSet: K shards
 // drawing on one limit).
 //
+// The pool is a ChunkedBytePool (chunk addresses never move, so at() spans
+// stay valid across inserts), which is what lets a SpillPolicy route chunks
+// past the RAM high-water mark into mmap-backed spill files: the random-
+// access table and entry index stay in RAM, the append-only payload bytes
+// degrade to disk, and `Unfinished` becomes a disk-space event.
+//
 // Symmetry reduction (symmetry.hpp) composes transparently: the checkers
 // canonicalize states *before* encoding, so under SymmetryMode::Canonical
 // this set only ever sees — and spends its budget on — one representative
@@ -19,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <span>
@@ -27,6 +34,7 @@
 #include "support/atomic_table.hpp"
 #include "support/contracts.hpp"
 #include "support/hash.hpp"
+#include "support/spill.hpp"
 #include "verify/memory_budget.hpp"
 
 namespace ccref::verify {
@@ -49,19 +57,23 @@ class StateSet {
   /// 1024-slot table; the hint is capped so it can never pre-spend more than
   /// half the budget on slots.
   explicit StateSet(std::size_t memory_limit_bytes,
-                    std::size_t expected_states = 0)
+                    std::size_t expected_states = 0, SpillPolicy spill = {})
       : owned_(std::make_unique<MemoryBudget>(memory_limit_bytes)),
-        budget_(owned_.get()) {
+        budget_(owned_.get()),
+        pool_(*budget_, kPoolChunk0, spill) {
     init_table(expected_states, kInitialSlots);
   }
 
   /// Shard constructor: draw on a budget shared with sibling sets. The
   /// caller keeps `budget` alive for the set's lifetime. `min_slots` (a
   /// power of two) lets small auxiliary sets — collapse-compression
-  /// dictionaries — start below the default 1024 slots.
+  /// dictionaries — start below the default 1024 slots; `pool_chunk0`
+  /// likewise floors their pool chunks below the 4 KB default.
   explicit StateSet(MemoryBudget& budget, std::size_t expected_states = 0,
-                    std::size_t min_slots = kInitialSlots)
-      : budget_(&budget) {
+                    std::size_t min_slots = kInitialSlots,
+                    SpillPolicy spill = {},
+                    std::size_t pool_chunk0 = kPoolChunk0)
+      : budget_(&budget), pool_(budget, pool_chunk0, spill) {
     init_table(expected_states, min_slots);
   }
 
@@ -83,13 +95,13 @@ class StateSet {
       slot = (slot + 1) & mask;
     }
 
-    // Admission control: would this insert exceed the budget? Vector growth
-    // doubles capacity, so project the *post-growth* footprint.
+    // Admission control for the index structures (the pool charges its own
+    // chunks inside alloc). Vector growth doubles capacity, so project the
+    // *post-growth* footprint.
     auto grown = [](std::size_t cap, std::size_t need) {
       return need <= cap ? cap : std::max(cap * 2, need);
     };
     std::size_t projected =
-        grown(pool_.capacity(), pool_.size() + state.size()) +
         grown(entries_.capacity(), entries_.size() + 1) * sizeof(Entry) +
         table_.capacity() * sizeof(std::uint32_t);
     if (projected > reserved_) {
@@ -102,22 +114,34 @@ class StateSet {
       reserved_ = projected;
     }
 
+    // Pool placement next: a refused chunk (RAM and spill both exhausted)
+    // aborts before any index mutation.
+    std::uint32_t off = 0;
+    if (!state.empty()) {
+      off = pool_.alloc(state.size());
+      if (off == decltype(pool_)::kNpos) {
+        reconcile();
+        return {Outcome::Exhausted, 0};
+      }
+      std::memcpy(pool_.data(off), state.data(), state.size());
+    }
+
     auto index = static_cast<std::uint32_t>(entries_.size());
     CCREF_ASSERT_MSG(index != kEmpty, "state count overflow");
-    entries_.push_back({h, pool_.size(), static_cast<std::uint32_t>(
-                                             state.size())});
-    pool_.insert(pool_.end(), state.begin(), state.end());
+    entries_.push_back({h, off, static_cast<std::uint32_t>(state.size())});
+    payload_bytes_ += state.size();
     table_[slot] = index;
     reconcile();
     if (entries_.size() * 10 > table_.size() * 7) {
       if (!grow()) {
         // Rolling back keeps the set consistent if the grow would burst the
-        // budget; the caller sees exhaustion on this insert. The rollback
-        // shrinks sizes but not capacities, so reserved_ may now exceed
-        // memory_used(): reconcile to release the difference, or sibling
-        // shards on a shared budget would run against phantom charges.
+        // budget; the caller sees exhaustion on this insert. The pool bump
+        // pointer rewinds to exactly where alloc placed this record (the
+        // set is single-threaded), and reconcile releases whatever the
+        // index vectors projected beyond their shrunken sizes.
         table_[slot] = kEmpty;
-        pool_.resize(entries_.back().offset);
+        if (!state.empty()) pool_.rewind(off, state.size());
+        payload_bytes_ -= state.size();
         entries_.pop_back();
         reconcile();
         return {Outcome::Exhausted, 0};
@@ -129,7 +153,8 @@ class StateSet {
   [[nodiscard]] std::span<const std::byte> at(std::uint32_t index) const {
     CCREF_REQUIRE(index < entries_.size());
     const Entry& e = entries_[index];
-    return {pool_.data() + e.offset, e.len};
+    if (e.len == 0) return {};
+    return {pool_.data(e.offset), e.len};
   }
 
   [[nodiscard]] std::uint64_t hash_at(std::uint32_t index) const {
@@ -142,12 +167,20 @@ class StateSet {
   /// Bytes of state payload actually stored (the raw-vs-collapsed
   /// compression comparisons are about this quantity, not the table/index
   /// overhead that memory_used() also charges).
-  [[nodiscard]] std::size_t pool_bytes() const { return pool_.size(); }
+  [[nodiscard]] std::size_t pool_bytes() const { return payload_bytes_; }
 
+  /// RAM bytes held: pool chunks charged to the budget plus the index
+  /// structures. Spilled chunks are in spill_bytes(), not here.
   [[nodiscard]] std::size_t memory_used() const {
-    return pool_.capacity() + entries_.capacity() * sizeof(Entry) +
-           table_.capacity() * sizeof(std::uint32_t);
+    return pool_.charged() + index_bytes();
   }
+
+  /// Payload bytes held in mmap-backed spill files.
+  [[nodiscard]] std::size_t spill_bytes() const { return pool_.spill_bytes(); }
+
+  /// Pool bytes held but never occupied by a record (chunk-seam skips and
+  /// the final chunk's unused tail).
+  [[nodiscard]] std::size_t waste_bytes() const { return pool_.bytes_waste(); }
 
   [[nodiscard]] std::size_t memory_limit() const { return budget_->limit(); }
 
@@ -156,12 +189,13 @@ class StateSet {
  private:
   struct Entry {
     std::uint64_t hash;
-    std::size_t offset;
+    std::uint32_t offset;  // into pool_
     std::uint32_t len;
   };
 
   static constexpr std::uint32_t kEmpty = 0xffffffffu;
   static constexpr std::size_t kInitialSlots = 1024;
+  static constexpr std::size_t kPoolChunk0 = 4096;
 
   /// Charge the initial table to the budget immediately. An idle shard on a
   /// shared budget still holds its table; deferring the charge to the first
@@ -182,17 +216,25 @@ class StateSet {
                             std::span<const std::byte> state) const {
     const Entry& ent = entries_[e];
     if (ent.len != state.size()) return false;
-    return std::equal(state.begin(), state.end(), pool_.begin() + ent.offset);
+    if (ent.len == 0) return true;
+    return std::memcmp(pool_.data(ent.offset), state.data(), ent.len) == 0;
   }
 
-  /// Re-align the reservation with what the vectors actually hold: charge
-  /// any capacity grabbed beyond the projection (libstdc++ doubles exactly,
-  /// so that direction is normally a no-op) and release any projected bytes
-  /// the vectors never took — after a growth policy lands below max(2*cap,
-  /// need), or after an insert rollback. Leaving the surplus charged would
-  /// starve sibling shards drawing on a shared budget.
+  [[nodiscard]] std::size_t index_bytes() const {
+    return entries_.capacity() * sizeof(Entry) +
+           table_.capacity() * sizeof(std::uint32_t);
+  }
+
+  /// Re-align the reservation with what the index vectors actually hold:
+  /// charge any capacity grabbed beyond the projection (libstdc++ doubles
+  /// exactly, so that direction is normally a no-op) and release any
+  /// projected bytes the vectors never took — after a growth policy lands
+  /// below max(2*cap, need), or after an insert rollback. Leaving the
+  /// surplus charged would starve sibling shards drawing on a shared
+  /// budget. (The pool reconciles nothing: chunks are charged in full on
+  /// allocation and held until destruction.)
   void reconcile() {
-    std::size_t actual = memory_used();
+    std::size_t actual = index_bytes();
     if (actual > reserved_) {
       // Over-projection failure here would mean the allocator already
       // grabbed the memory; record it rather than lie about usage.
@@ -225,8 +267,9 @@ class StateSet {
 
   std::unique_ptr<MemoryBudget> owned_;  // null when the budget is shared
   MemoryBudget* budget_;
-  std::size_t reserved_ = 0;  // bytes currently charged to the budget
-  std::vector<std::byte> pool_;
+  std::size_t reserved_ = 0;  // index bytes currently charged to the budget
+  std::size_t payload_bytes_ = 0;
+  ChunkedBytePool<MemoryBudget> pool_;
   std::vector<Entry> entries_;
   std::vector<std::uint32_t> table_;
 };

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -411,6 +412,74 @@ TEST(Cli, UnknownFlagIsFatal) {
   const char* argv[] = {"prog", "--bogus=1"};
   Cli cli(2, const_cast<char**>(argv));
   EXPECT_EXIT(cli.finish(), testing::ExitedWithCode(2), "unknown flag");
+}
+
+// ---- byte-size parsing -----------------------------------------------------
+
+TEST(ParseSize, PlainAndSuffixedValues) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(parse_size("0", 0, max), 0u);
+  EXPECT_EQ(parse_size("4096", 0, max), 4096u);
+  EXPECT_EQ(parse_size("64K", 0, max), std::uint64_t{64} << 10);
+  EXPECT_EQ(parse_size("64k", 0, max), std::uint64_t{64} << 10);
+  EXPECT_EQ(parse_size("512M", 0, max), std::uint64_t{512} << 20);
+  EXPECT_EQ(parse_size("512m", 0, max), std::uint64_t{512} << 20);
+  EXPECT_EQ(parse_size("2G", 0, max), std::uint64_t{2} << 30);
+  EXPECT_EQ(parse_size("3T", 0, max), std::uint64_t{3} << 40);
+}
+
+TEST(ParseSize, RejectsMalformedSpellings) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_FALSE(parse_size("", 0, max).has_value());
+  EXPECT_FALSE(parse_size("M", 0, max).has_value());  // bare suffix
+  EXPECT_FALSE(parse_size("5GB", 0, max).has_value());  // trailing junk
+  EXPECT_FALSE(parse_size("5 M", 0, max).has_value());
+  EXPECT_FALSE(parse_size("-1K", 0, max).has_value());
+  EXPECT_FALSE(parse_size("+64M", 0, max).has_value());
+  EXPECT_FALSE(parse_size("0x40M", 0, max).has_value());
+  EXPECT_FALSE(parse_size("64Q", 0, max).has_value());  // unknown suffix
+}
+
+TEST(ParseSize, RejectsOverflowExactly) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  // 17e18 KiB overflows u64 bytes; the largest representable K value is
+  // floor(2^64/1024) and must still be accepted.
+  EXPECT_FALSE(parse_size("17000000000000000000K", 0, max).has_value());
+  EXPECT_EQ(parse_size("18014398509481983K", 0, max),
+            std::uint64_t{18014398509481983} << 10);
+  EXPECT_FALSE(parse_size("18014398509481984K", 0, max).has_value());
+  EXPECT_FALSE(parse_size("16777216T", 0, max).has_value());
+}
+
+TEST(ParseSize, HonorsRangeAfterScaling) {
+  // The range check applies to the scaled byte value, not the digits.
+  EXPECT_EQ(parse_size("1M", 1 << 20, 1 << 30), std::uint64_t{1} << 20);
+  EXPECT_FALSE(parse_size("1023K", 1 << 20, 1 << 30).has_value());
+  EXPECT_FALSE(parse_size("2G", 1 << 20, 1 << 30).has_value());
+}
+
+TEST(Cli, SizeFlagParsesSuffixAndDefault) {
+  const char* argv[] = {"prog", "--mem=512M", "--spill-cap", "2G"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_EQ(cli.size_flag("mem", "64M", 1 << 20,
+                          std::numeric_limits<std::uint64_t>::max()),
+            std::uint64_t{512} << 20);
+  EXPECT_EQ(cli.size_flag("spill-cap", "0", 0,
+                          std::numeric_limits<std::uint64_t>::max()),
+            std::uint64_t{2} << 30);
+  // Defaults go through the same parser, suffix and all.
+  EXPECT_EQ(cli.size_flag("other", "16K", 0,
+                          std::numeric_limits<std::uint64_t>::max()),
+            std::uint64_t{16} << 10);
+  cli.finish();
+}
+
+TEST(Cli, SizeFlagRejectsBadValueWithDiagnostic) {
+  const char* argv[] = {"prog", "--mem=5GB"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT((void)cli.size_flag("mem", "64M", 0,
+                                  std::numeric_limits<std::uint64_t>::max()),
+              testing::ExitedWithCode(2), "mem");
 }
 
 }  // namespace
