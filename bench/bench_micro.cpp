@@ -11,6 +11,8 @@
 #include "runtime/async_system.hpp"
 #include "sem/rendezvous.hpp"
 #include "support/atomic_table.hpp"
+#include "support/calendar_queue.hpp"
+#include "support/event_pool.hpp"
 #include "support/hash.hpp"
 #include "support/spill.hpp"
 #include "support/work_steal_deque.hpp"
@@ -294,6 +296,56 @@ void BM_CollapseLookupHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CollapseLookupHit)->Threads(1)->Threads(4);
+
+// ---- discrete-event simulator hot paths -------------------------------
+
+// Steady-state hold pattern: pop the minimum, reschedule it a small random
+// increment ahead — the simulator's per-event scheduling cost at a standing
+// population of range(0) events (one push + one pop per iteration).
+void BM_CalendarQueuePushPop(benchmark::State& state) {
+  CalendarQueue q(/*width_hint=*/8);
+  const auto population = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (std::uint64_t i = 0; i < population; ++i) {
+    x ^= x << 13, x ^= x >> 7, x ^= x << 17;
+    q.push(x % 512, static_cast<std::uint32_t>(i));
+  }
+  std::uint64_t t = 0;
+  std::uint32_t h = 0;
+  for (auto _ : state) {
+    const bool ok = q.pop(t, h);
+    benchmark::DoNotOptimize(ok);
+    x ^= x << 13, x ^= x >> 7, x ^= x << 17;
+    q.push(t + 1 + x % 64, h);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["buckets"] = static_cast<double>(q.bucket_count());
+}
+BENCHMARK(BM_CalendarQueuePushPop)->Arg(64)->Arg(4096)->Arg(1 << 16);
+
+// Recycled alloc/release through the intrusive free list with a standing
+// live population — after warm-up every event allocation the engine makes
+// takes this path (no heap traffic).
+void BM_EventPoolAlloc(benchmark::State& state) {
+  struct Ev {
+    std::uint64_t time;
+    std::uint32_t a, b;
+  };
+  EventPool<Ev> pool;
+  std::vector<EventPool<Ev>::Handle> live;
+  for (int i = 0; i < 255; ++i) live.push_back(pool.alloc());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto h = pool.alloc();
+    pool[h].time = i;
+    benchmark::DoNotOptimize(pool[h]);
+    pool.release(live[i % live.size()]);
+    live[i % live.size()] = h;
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventPoolAlloc);
 
 void BM_ExploreMigratoryRendezvous(benchmark::State& state) {
   for (auto _ : state) {

@@ -199,7 +199,8 @@ int main(int argc, char** argv) {
   sopts.max_steps = 20'000'000;
   auto stats = sim::simulate(sys, w, sopts);
   if (!stats.finished) {
-    std::fprintf(stderr, "simulation stalled: %s\n", stats.stall.c_str());
+    std::fprintf(stderr, "simulation stalled: %s\n",
+                 stats.stall.to_string().c_str());
     return 1;
   }
 

@@ -1,0 +1,481 @@
+#include "runtime/async_exec.hpp"
+
+namespace ccref::runtime {
+
+using ir::EvalCtx;
+using ir::InputGuard;
+using ir::OutputGuard;
+using ir::PeerSel;
+using ir::StateKind;
+using refine::MsgClass;
+using sem::Label;
+
+namespace {
+constexpr int kHome = -1;
+}  // namespace
+
+// Every branch below is the in-place port of the matching branch in
+// async_system.cpp. The enumeration copies the state, mutates the copy, and
+// discards it when a capacity check fails; here every capacity check runs
+// BEFORE the first mutation so a Blocked return leaves the state untouched.
+
+ExecResult AsyncExec::deliver_up(AsyncState& s, int i, Label& l,
+                                 SendLog* log) const {
+  if (s.up[i].empty()) return ExecResult::None;
+  const AsyncSystem& sys = *sys_;
+  const ir::Process& home = sys.protocol().home;
+  HomeMachine& hm = s.home;
+  reset_label(l);
+  l.actor = i;
+  const std::size_t cap = static_cast<std::size_t>(sys.cap_);
+
+  switch (s.up[i].front().meta) {
+    case Meta::Ack: {
+      // Row T1: the pending rendezvous succeeded.
+      CCREF_ASSERT_MSG(hm.transient && hm.t_target == i,
+                       "stray ACK at the home");
+      const OutputGuard& og = home.state(hm.state).outputs[hm.t_guard];
+      CCREF_ASSERT(sys.refined_->cls(og.msg) != MsgClass::FusedRequest ||
+                   !sys.refined_->home_fusion_at(hm.state, hm.t_guard));
+      s.up[i].pop();
+      sys.apply_home_output(hm, og, i);
+      return ExecResult::Applied;
+    }
+    case Meta::Nack: {
+      // Row T2: rendezvous failed; return to the communication state.
+      CCREF_ASSERT_MSG(hm.transient && hm.t_target == i,
+                       "stray NACK at the home");
+      s.up[i].pop();
+      hm.transient = false;
+      return ExecResult::Applied;
+    }
+    case Meta::Repl: {
+      // Fused pair completion (§3.3).
+      CCREF_ASSERT_MSG(hm.transient && hm.t_target == i,
+                       "stray REPL at the home");
+      Msg m = s.up[i].front();
+      const auto* fusion = sys.refined_->home_fusion_at(hm.state, hm.t_guard);
+      CCREF_ASSERT_MSG(fusion && fusion->reply == m.msg,
+                       "REPL does not match the pending fusion");
+      const OutputGuard& og = home.state(hm.state).outputs[hm.t_guard];
+      s.up[i].pop();
+      sys.apply_home_output(hm, og, i);
+      bool applied = false;
+      for (const auto& ig : home.state(hm.state).inputs) {
+        if (ig.msg != m.msg) continue;
+        if (!sys.input_source_matches(ig, hm.store, m.src)) continue;
+        if (ig.cond && !ir::eval(*ig.cond, hm.store, EvalCtx{kHome})) continue;
+        sys.apply_input(home, hm.store, hm.state, ig, m, kHome);
+        applied = true;
+        break;
+      }
+      CCREF_ASSERT_MSG(applied, "no guard consumed the fused reply");
+      return ExecResult::Applied;
+    }
+    case Meta::Req: {
+      const Msg& m = s.up[i].front();
+      if (hm.transient && hm.t_target == i) {
+        // Row T3 (rule R3): implicit nack plus a request.
+        if (sys.admit(hm, s, m, /*in_transient=*/false)) {
+          Msg req = m;
+          s.up[i].pop();
+          hm.transient = false;
+          hm.buffer.push_back(std::move(req));
+          return ExecResult::Applied;
+        }
+        // Only reachable with the ack buffer disabled (ablation).
+        if (s.down[i].size() >= cap) return ExecResult::Blocked;
+        s.up[i].pop();
+        hm.transient = false;
+        Msg nack;
+        nack.meta = Meta::Nack;
+        nack.src = Msg::kHomeSrc;
+        s.down[i].push(std::move(nack));
+        if (log) log->add(false, static_cast<std::uint8_t>(i), Meta::Nack, 0);
+        l.sent_nack = 1;
+        return ExecResult::Applied;
+      }
+      // Rows T4/T5/T6.
+      if (sys.admit(hm, s, m, hm.transient)) {
+        Msg req = m;
+        s.up[i].pop();
+        hm.buffer.push_back(std::move(req));
+        return ExecResult::Applied;
+      }
+      if (s.down[i].size() >= cap) return ExecResult::Blocked;
+      s.up[i].pop();
+      Msg nack;
+      nack.meta = Meta::Nack;
+      nack.src = Msg::kHomeSrc;
+      s.down[i].push(std::move(nack));
+      if (log) log->add(false, static_cast<std::uint8_t>(i), Meta::Nack, 0);
+      l.sent_nack = 1;
+      return ExecResult::Applied;
+    }
+  }
+  return ExecResult::None;
+}
+
+ExecResult AsyncExec::deliver_down(AsyncState& s, int i, Label& l,
+                                   SendLog*) const {
+  if (s.down[i].empty()) return ExecResult::None;
+  const AsyncSystem& sys = *sys_;
+  const ir::Process& remote = sys.protocol().remote;
+  RemoteMachine& rm = s.remotes[i];
+  reset_label(l);
+  l.actor = i;
+
+  if (rm.transient) {
+    const ir::State& a = remote.state(rm.state);
+    const OutputGuard& og = a.outputs[0];
+    switch (s.down[i].front().meta) {
+      case Meta::Ack: {
+        // Row T1.
+        CCREF_ASSERT_MSG(!sys.refined_->remote_fusion_at(rm.state),
+                         "ACK for a fused request");
+        s.down[i].pop();
+        if (og.action)
+          ir::exec(*og.action, rm.store, remote.vars, EvalCtx{i});
+        rm.state = og.next;
+        rm.transient = false;
+        return ExecResult::Applied;
+      }
+      case Meta::Nack: {
+        // Row T2: go back and retransmit (the active send re-enables).
+        s.down[i].pop();
+        rm.transient = false;
+        return ExecResult::Applied;
+      }
+      case Meta::Repl: {
+        Msg m = s.down[i].front();
+        const auto* fusion = sys.refined_->remote_fusion_at(rm.state);
+        CCREF_ASSERT_MSG(fusion && fusion->reply == m.msg,
+                         "REPL does not match the remote fusion");
+        s.down[i].pop();
+        if (og.action)
+          ir::exec(*og.action, rm.store, remote.vars, EvalCtx{i});
+        rm.state = og.next;  // W
+        const InputGuard& ig = remote.state(fusion->wait_state).inputs[0];
+        sys.apply_input(remote, rm.store, rm.state, ig, m, i);
+        rm.transient = false;
+        return ExecResult::Applied;
+      }
+      case Meta::Req: {
+        // Row T3: dropped — the home treats our pending request as an
+        // implicit nack for its own.
+        s.down[i].pop();
+        return ExecResult::Applied;
+      }
+    }
+    return ExecResult::None;
+  }
+
+  // Not transient: only requests can arrive; hold in the one-slot buffer.
+  CCREF_ASSERT_MSG(s.down[i].front().meta == Meta::Req,
+                   "non-request at an idle remote");
+  CCREF_ASSERT_MSG(!rm.buffer.has_value(),
+                   "home sent two outstanding requests to one remote");
+  rm.buffer = s.down[i].front();
+  s.down[i].pop();
+  return ExecResult::Applied;
+}
+
+ExecResult AsyncExec::home_step(AsyncState& s, Label& l, SendLog* log) const {
+  const AsyncSystem& sys = *sys_;
+  const ir::Process& home = sys.protocol().home;
+  HomeMachine& hm = s.home;
+  if (hm.transient) return ExecResult::None;  // waiting for ack/nack/reply
+  const ir::State& st = home.state(hm.state);
+  const EvalCtx hctx{kHome};
+  const std::size_t cap = static_cast<std::size_t>(sys.cap_);
+
+  // τ moves.
+  for (const auto& g : st.taus) {
+    if (g.cond && !ir::eval(*g.cond, hm.store, hctx)) continue;
+    reset_label(l);
+    if (g.action) ir::exec(*g.action, hm.store, home.vars, hctx);
+    hm.state = g.next;
+    l.actor = kHome;
+    l.decision = g.label;
+    return ExecResult::Applied;
+  }
+  if (st.kind != StateKind::Comm) return ExecResult::None;
+
+  // ---- row C1: complete a rendezvous from the buffer ----
+  bool any_c1 = false;
+  for (std::size_t b = 0; b < hm.buffer.size(); ++b) {
+    const Msg& m = hm.buffer[b];
+    for (const auto& ig : st.inputs) {
+      if (ig.msg != m.msg) continue;
+      if (!sys.input_source_matches(ig, hm.store, m.src)) continue;
+      if (ig.cond && !ir::eval(*ig.cond, hm.store, hctx)) continue;
+      any_c1 = true;
+      MsgClass cls = sys.refined_->cls(m.msg);
+      if (cls == MsgClass::Normal && s.down[m.src].size() >= cap)
+        continue;  // no room for the ack right now
+      reset_label(l);
+      l.actor = kHome;
+      Msg taken = m;
+      hm.buffer.erase(hm.buffer.begin() + b);
+      if (cls == MsgClass::Normal) {
+        Msg ack;
+        ack.meta = Meta::Ack;
+        ack.src = Msg::kHomeSrc;
+        s.down[taken.src].push(std::move(ack));
+        if (log) log->add(false, taken.src, Meta::Ack, 0);
+        l.sent_ack = 1;
+        l.completes_rendezvous = true;
+        l.granted_to = taken.src;
+      } else if (cls == MsgClass::FusedRequest) {
+        // §3.3: no ack — the later reply acts as the ack.
+        l.completes_rendezvous = true;
+        l.granted_to = taken.src;
+      } else {
+        CCREF_ASSERT(cls == MsgClass::ElideAck);
+      }
+      sys.apply_input(home, hm.store, hm.state, ig, taken, kHome);
+      return ExecResult::Applied;
+    }
+  }
+  // Condition (a): a completable buffered request suppresses C2. If we got
+  // here with any_c1 set, every C1 match was capacity-blocked.
+  if (any_c1) return ExecResult::Blocked;
+
+  // ---- row C2: initiate a rendezvous ----
+  bool blocked = false;
+  for (std::size_t gi = 0; gi < st.outputs.size(); ++gi) {
+    const OutputGuard& og = st.outputs[gi];
+    if (og.cond && !ir::eval(*og.cond, hm.store, hctx)) continue;
+    NodeSet targets;
+    if (og.to.kind == PeerSel::Kind::Expr) {
+      std::int64_t j = ir::eval(*og.to.expr, hm.store, hctx);
+      CCREF_ASSERT(j >= 0 && j < sys.n_);
+      targets.add(static_cast<NodeId>(j));
+    } else if (og.to.kind == PeerSel::Kind::AnyInSet) {
+      targets = NodeSet(
+          static_cast<std::uint64_t>(ir::eval(*og.to.expr, hm.store, hctx)));
+    }
+    MsgClass cls = sys.refined_->cls(og.msg);
+    for (NodeId ri : targets) {
+      if (ri >= sys.n_) continue;
+      // Condition (c): a pending request from ri means ri cannot answer.
+      bool pending = false;
+      for (const auto& bm : hm.buffer)
+        if (bm.src == ri) pending = true;
+      if (pending) continue;
+      if (cls == MsgClass::Reply) {
+        if (s.down[ri].size() >= cap) {
+          blocked = true;
+          continue;
+        }
+        reset_label(l);
+        Msg repl;
+        repl.meta = Meta::Repl;
+        repl.msg = og.msg;
+        repl.src = Msg::kHomeSrc;
+        repl.payload = sys.eval_payload(og, hm.store, kHome, ri);
+        s.down[ri].push(std::move(repl));
+        if (log) log->add(false, ri, Meta::Repl, og.msg);
+        sys.apply_home_output(hm, og, ri);
+        l.sent_repl = 1;
+        l.completes_rendezvous = true;
+        l.granted_to = kHome;
+        l.actor = kHome;
+        l.decision = sys.protocol().message(og.msg).name;
+        return ExecResult::Applied;
+      }
+      // Generic request: allocate the ack buffer first (§3.2). The
+      // enumeration mutates a copy and discards it when down[ri] is full;
+      // in place, both channel checks must pass before the eviction runs.
+      // (victim.src != ri: condition (c) above skipped targets with
+      // buffered requests, so the two channel checks are independent.)
+      int victim = -1;
+      bool evict = sys.refined_->options.ack_buffer &&
+                   hm.buffer.size() >= static_cast<std::size_t>(sys.k_);
+      if (evict) {
+        for (int v = static_cast<int>(hm.buffer.size()) - 1; v >= 0; --v)
+          if (sys.refined_->cls(hm.buffer[v].msg) != MsgClass::ElideAck) {
+            victim = v;
+            break;
+          }
+        if (victim < 0) continue;  // nothing nackable
+        if (s.down[hm.buffer[victim].src].size() >= cap) {
+          blocked = true;
+          continue;
+        }
+      }
+      if (s.down[ri].size() >= cap) {
+        blocked = true;
+        continue;
+      }
+      reset_label(l);
+      if (evict) {
+        std::uint8_t vsrc = hm.buffer[victim].src;
+        hm.buffer.erase(hm.buffer.begin() + victim);
+        Msg nack;
+        nack.meta = Meta::Nack;
+        nack.src = Msg::kHomeSrc;
+        s.down[vsrc].push(std::move(nack));
+        if (log) log->add(false, vsrc, Meta::Nack, 0);
+        l.sent_nack = 1;
+      }
+      Msg req;
+      req.meta = Meta::Req;
+      req.msg = og.msg;
+      req.src = Msg::kHomeSrc;
+      req.payload = sys.eval_payload(og, hm.store, kHome, ri);
+      s.down[ri].push(std::move(req));
+      if (log) log->add(false, ri, Meta::Req, og.msg);
+      hm.transient = true;
+      hm.t_guard = static_cast<std::uint8_t>(gi);
+      hm.t_target = ri;
+      l.sent_req = 1;
+      l.actor = kHome;
+      l.decision = sys.protocol().message(og.msg).name;
+      return ExecResult::Applied;
+    }
+  }
+  return blocked ? ExecResult::Blocked : ExecResult::None;
+}
+
+ExecResult AsyncExec::remote_step(AsyncState& s, int i,
+                                  const DecisionGate& gate, Label& l,
+                                  SendLog* log) const {
+  const AsyncSystem& sys = *sys_;
+  const ir::Process& remote = sys.protocol().remote;
+  RemoteMachine& rm = s.remotes[i];
+  if (rm.transient) return ExecResult::None;
+  const ir::State& st = remote.state(rm.state);
+  const EvalCtx rctx{i};
+  const std::size_t cap = static_cast<std::size_t>(sys.cap_);
+
+  // Row C3 first when a request is waiting in a passive state: answering
+  // the home is obligatory, so it outranks the controllable moves below.
+  // (The enumeration exposes both orders; a simulator that always lets a
+  // gated τ preempt the answer can livelock — e.g. a migratory owner whose
+  // pending `evict` keeps crossing the home's revocation forever.)
+  if (rm.buffer.has_value() && st.kind == StateKind::Comm &&
+      st.outputs.empty())
+    return answer_buffered(s, i, l, log);
+
+  // τ moves (controllable: gated by the workload's decision vocabulary).
+  for (const auto& g : st.taus) {
+    if (g.cond && !ir::eval(*g.cond, rm.store, rctx)) continue;
+    if (!gate.allows(i, g.label)) continue;
+    reset_label(l);
+    if (g.action) ir::exec(*g.action, rm.store, remote.vars, rctx);
+    rm.state = g.next;
+    l.actor = i;
+    l.decision = g.label;
+    return ExecResult::Applied;
+  }
+  if (st.kind != StateKind::Comm) return ExecResult::None;
+
+  if (!st.outputs.empty()) {
+    // Active state — rows C1/C2 of Table 1 (controllable).
+    const OutputGuard& og = st.outputs[0];
+    if (og.cond && !ir::eval(*og.cond, rm.store, rctx))
+      return ExecResult::None;
+    if (!gate.allows(i, sys.protocol().message(og.msg).name))
+      return ExecResult::None;
+    if (s.up[i].size() >= cap) return ExecResult::Blocked;
+    MsgClass cls = sys.refined_->cls(og.msg);
+    reset_label(l);
+    // Row C2: a buffered request from the home is deleted (rule R3).
+    rm.buffer.reset();
+    l.actor = i;
+    l.decision = sys.protocol().message(og.msg).name;
+    Msg req;
+    req.meta = Meta::Req;
+    req.msg = og.msg;
+    req.src = static_cast<std::uint8_t>(i);
+    req.payload = sys.eval_payload(og, rm.store, i, kHome);
+    s.up[i].push(std::move(req));
+    if (log) log->add(true, static_cast<std::uint8_t>(i), Meta::Req, og.msg);
+    if (cls == MsgClass::ElideAck) {
+      // Hand-design deviation: send and commit immediately, no handshake.
+      if (og.action) ir::exec(*og.action, rm.store, remote.vars, rctx);
+      rm.state = og.next;
+      l.sent_req = 1;
+      l.completes_rendezvous = true;
+      l.granted_to = i;
+    } else {
+      rm.transient = true;
+      l.sent_req = 1;
+    }
+    return ExecResult::Applied;
+  }
+
+  return ExecResult::None;
+}
+
+// Row C3: answer the buffered request from a passive state (obligatory).
+ExecResult AsyncExec::answer_buffered(AsyncState& s, int i, Label& l,
+                                      SendLog* log) const {
+  const AsyncSystem& sys = *sys_;
+  const ir::Process& remote = sys.protocol().remote;
+  RemoteMachine& rm = s.remotes[i];
+  const ir::State& st = remote.state(rm.state);
+  const EvalCtx rctx{i};
+  const std::size_t cap = static_cast<std::size_t>(sys.cap_);
+
+  const Msg& m = *rm.buffer;
+  bool matched = false;
+  for (const auto& ig : st.inputs) {
+    if (ig.msg != m.msg) continue;
+    if (ig.cond && !ir::eval(*ig.cond, rm.store, rctx)) continue;
+    matched = true;
+    if (s.up[i].size() >= cap) return ExecResult::Blocked;
+    reset_label(l);
+    l.actor = i;
+    Msg taken = m;
+    rm.buffer.reset();
+    if (sys.refined_->cls(taken.msg) == MsgClass::FusedRequest &&
+        sys.refined_->remote_replies_through(ig)) {
+      // §3.3 reverse direction: the reply doubles as the ack.
+      sys.apply_input(remote, rm.store, rm.state, ig, taken, i);
+      const OutputGuard& og = remote.state(rm.state).outputs[0];
+      Msg repl;
+      repl.meta = Meta::Repl;
+      repl.msg = og.msg;
+      repl.src = static_cast<std::uint8_t>(i);
+      repl.payload = sys.eval_payload(og, rm.store, i, kHome);
+      s.up[i].push(std::move(repl));
+      if (log)
+        log->add(true, static_cast<std::uint8_t>(i), Meta::Repl, og.msg);
+      if (og.action) ir::exec(*og.action, rm.store, remote.vars, rctx);
+      rm.state = og.next;
+      l.sent_repl = 1;
+      l.completes_rendezvous = true;
+      l.granted_to = kHome;
+    } else {
+      Msg ack;
+      ack.meta = Meta::Ack;
+      ack.src = static_cast<std::uint8_t>(i);
+      s.up[i].push(std::move(ack));
+      if (log) log->add(true, static_cast<std::uint8_t>(i), Meta::Ack, 0);
+      sys.apply_input(remote, rm.store, rm.state, ig, taken, i);
+      l.sent_ack = 1;
+      l.completes_rendezvous = true;
+      l.granted_to = kHome;
+    }
+    return ExecResult::Applied;
+  }
+  if (!matched) {
+    // Row C3, no guard satisfied: nack and keep waiting.
+    if (s.up[i].size() >= cap) return ExecResult::Blocked;
+    reset_label(l);
+    rm.buffer.reset();
+    Msg nack;
+    nack.meta = Meta::Nack;
+    nack.src = static_cast<std::uint8_t>(i);
+    s.up[i].push(std::move(nack));
+    if (log) log->add(true, static_cast<std::uint8_t>(i), Meta::Nack, 0);
+    l.sent_nack = 1;
+    l.actor = i;
+    return ExecResult::Applied;
+  }
+  return ExecResult::None;
+}
+
+}  // namespace ccref::runtime

@@ -1,0 +1,115 @@
+// In-place execution of single asynchronous transitions.
+//
+// AsyncSystem::successors() enumerates every enabled edge and copies the
+// whole AsyncState per edge — exactly right for model checking, hopeless for
+// a discrete-event simulator that wants millions of transitions per second
+// on one live state. AsyncExec executes ONE chosen transition by mutating
+// the state in place: deliver the head of a channel, take one home step, or
+// take one remote step, each branch ported line-for-line from the
+// enumeration so the reachable behaviours are identical (pinned by the
+// cross-engine agreement tests in tests/test_des.cpp).
+//
+// Where the enumeration offers a choice (which buffered request to ack,
+// which C2 target to request), AsyncExec deterministically takes the FIRST
+// edge in enumeration order; schedule diversity comes from the caller's
+// event interleaving, not from intra-step nondeterminism. Controllable
+// remote decisions (τ labels, active-send message names) pass through a
+// DecisionGate so a workload can hold back `write`/`evict`/`req` until the
+// simulated CPU actually wants them — mirroring sim::Simulator's gating.
+#pragma once
+
+#include <string>
+
+#include "runtime/async_system.hpp"
+#include "sem/label.hpp"
+#include "support/contracts.hpp"
+
+namespace ccref::runtime {
+
+/// Outcome of one in-place execution attempt.
+enum class ExecResult : std::uint8_t {
+  Applied,  // the state was mutated; the label describes the step
+  Blocked,  // a step is enabled but a full channel prevents it right now
+  None,     // nothing enabled here (or everything gated off)
+};
+
+/// Gate for controllable remote decisions: τ labels (e.g. "evict") and
+/// active-send message names (e.g. "req"). Obligatory steps — deliveries,
+/// C3 answers/nacks, home steps — are never gated. Implementations must
+/// allow the empty label (τs without a decision name are not controllable).
+class DecisionGate {
+ public:
+  virtual ~DecisionGate() = default;
+  [[nodiscard]] virtual bool allows(int remote,
+                                    const std::string& decision) const = 0;
+};
+
+struct AllowAllGate final : DecisionGate {
+  [[nodiscard]] bool allows(int, const std::string&) const override {
+    return true;
+  }
+};
+
+/// Wire messages pushed by one applied step, so a discrete-event scheduler
+/// can enqueue their deliveries without diffing channel lengths. A step
+/// pushes at most two (home C2: eviction nack + the new request).
+struct SendLog {
+  struct Entry {
+    bool up;            // true: up[node] (remote→home); false: down[node]
+    std::uint8_t node;  // channel index
+    Meta meta;
+    ir::MsgId msg;  // meaningful for Req/Repl; 0 for pure control
+  };
+  std::uint8_t count = 0;
+  Entry e[2];
+
+  void add(bool up, std::uint8_t node, Meta meta, ir::MsgId msg) {
+    CCREF_ASSERT(count < 2);
+    e[count++] = {up, node, meta, msg};
+  }
+  void clear() { count = 0; }
+};
+
+/// Reset a label for reuse without deallocating its string capacity.
+inline void reset_label(sem::Label& l) {
+  l.text.clear();
+  l.completes_rendezvous = false;
+  l.sent_req = l.sent_ack = l.sent_nack = l.sent_repl = 0;
+  l.actor = -2;
+  l.granted_to = -2;
+  l.decision.clear();
+}
+
+class AsyncExec {
+ public:
+  explicit AsyncExec(const AsyncSystem& sys) : sys_(&sys) {}
+
+  /// Deliver the head of up[i] to the home (rows T1-T3 / buffer admission).
+  /// Blocked when a required nack cannot be sent because down[i] is full.
+  ExecResult deliver_up(AsyncState& s, int i, sem::Label& l,
+                        SendLog* log) const;
+
+  /// Deliver the head of down[i] to remote i. Never Blocked: every branch
+  /// consumes the head.
+  ExecResult deliver_down(AsyncState& s, int i, sem::Label& l,
+                          SendLog* log) const;
+
+  /// One home local step: first enabled τ, else first C1 completion, else
+  /// first C2 initiation — the enumeration's deterministic order.
+  ExecResult home_step(AsyncState& s, sem::Label& l, SendLog* log) const;
+
+  /// One remote local step for remote i: first gate-allowed τ, else the
+  /// gate-allowed active send, else the obligatory C3 answer/nack.
+  ExecResult remote_step(AsyncState& s, int i, const DecisionGate& gate,
+                         sem::Label& l, SendLog* log) const;
+
+  [[nodiscard]] const AsyncSystem& system() const { return *sys_; }
+
+ private:
+  ExecResult answer_buffered(AsyncState& s, int i, sem::Label& l,
+                             SendLog* log) const;
+
+  const AsyncSystem* sys_;
+};
+
+}  // namespace ccref::runtime

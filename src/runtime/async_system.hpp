@@ -93,6 +93,10 @@ class AsyncSystem {
   [[nodiscard]] int num_remotes() const { return n_; }
 
  private:
+  // In-place single-transition executor (runtime/async_exec.hpp); shares the
+  // private helpers so the two transition semantics cannot drift apart.
+  friend class AsyncExec;
+
   using Out = std::vector<std::pair<AsyncState, sem::Label>>;
 
   // ---- deliveries ----

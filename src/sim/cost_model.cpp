@@ -1,0 +1,27 @@
+#include "sim/cost_model.hpp"
+
+namespace ccref::sim {
+
+std::optional<CostModel> CostModel::preset(const std::string& name) {
+  if (name.empty() || name == "avalanche") return CostModel{};
+  if (name == "uniform") {
+    CostModel m;
+    m.link = 1;
+    m.home_occupancy = 0;
+    m.wbuf_drain = 0;
+    m.flat = true;
+    return m;
+  }
+  if (name == "dsm") {
+    CostModel m;
+    m.link = 40;
+    m.memory = 100;
+    m.block_words = 4;
+    m.home_occupancy = 8;
+    m.wbuf_drain = 10;
+    return m;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ccref::sim

@@ -1,0 +1,51 @@
+// Cycle cost model for the discrete-event simulator.
+//
+// Follows the Cache-Simulator evaluation design the ROADMAP adopts: a plain
+// memory access costs 100 cycles, a cache-to-cache transfer of an N-word
+// block costs 4N + (P+1) cycles (P processors arbitrating the path), and
+// control messages pay a fixed link latency. In the star topology every
+// message is classified by direction and payload: data sourced by the home
+// is a memory access, data sourced by a remote cache is a cache-to-cache
+// transfer, everything else (requests, acks, nacks) is control traffic.
+// The home directory additionally has an occupancy: it processes one
+// incoming message per `home_occupancy` cycles, which is what creates
+// queueing at the hot home under contention.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ccref::sim {
+
+struct CostModel {
+  std::uint64_t link = 4;             // control-message latency (cycles)
+  std::uint64_t memory = 100;         // home memory access for data it sends
+  std::uint64_t block_words = 4;      // N in the 4N + (P+1) c2c formula
+  std::uint64_t home_occupancy = 2;   // directory service time per message
+  std::uint64_t wbuf_drain = 10;      // per-store drain cost (write buffer)
+  bool flat = false;                  // every message costs `link` (uniform)
+
+  /// Cache-to-cache transfer latency with `p` processors on the path.
+  [[nodiscard]] std::uint64_t c2c(int p) const {
+    return 4 * block_words + static_cast<std::uint64_t>(p) + 1;
+  }
+
+  /// Latency of one message: `data` when it carries a payload (Req/Repl
+  /// with non-empty payload), `from_home` by sender side.
+  [[nodiscard]] std::uint64_t latency(bool data, bool from_home,
+                                      int p) const {
+    if (flat || !data) return link;
+    return from_home ? memory + link : c2c(p) + link;
+  }
+
+  /// Named presets for `--cost-model`: "avalanche" (the defaults above),
+  /// "uniform" (every message 1 cycle, free directory — timing-neutral, used
+  /// by the agreement tests), "dsm" (software DSM: 10× link, 4× occupancy —
+  /// Golab's cost separation between CC and DSM access). Returns nullopt for
+  /// unknown names.
+  [[nodiscard]] static std::optional<CostModel> preset(
+      const std::string& name);
+};
+
+}  // namespace ccref::sim

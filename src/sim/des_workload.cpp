@@ -1,0 +1,173 @@
+#include "sim/des_workload.hpp"
+
+#include "support/contracts.hpp"
+
+namespace ccref::sim {
+
+namespace {
+
+/// Distinct per-node RNG streams from one seed: mix the node id through
+/// splitmix-style constants so neighbouring nodes do not correlate.
+[[nodiscard]] std::uint64_t node_seed(std::uint64_t seed,
+                                      std::uint32_t node) {
+  return seed ^ (0x9e3779b97f4a7c15ull * (node + 1));
+}
+
+}  // namespace
+
+// ---- OpMap ------------------------------------------------------------------
+
+const OpSpec* OpMap::find(const std::string& mnemonic) const {
+  for (const auto& s : specs)
+    if (s.mnemonic == mnemonic) return &s;
+  return nullptr;
+}
+
+std::optional<OpMap> OpMap::for_protocol(const ir::Protocol& p) {
+  OpMap m;
+  if (p.name == "migratory") {
+    const ir::StateId v = p.remote.find_state("V");
+    const ir::StateId i = p.remote.find_state("I");
+    CCREF_REQUIRE(v != ir::kNoState && i != ir::kNoState);
+    m.vocabulary = {"req", "evict", "write"};
+    m.specs = {{"r", {"req"}, v, false},
+               {"w", {"req", "write"}, v, true},
+               {"acq", {"req"}, v, false},
+               {"rel", {"evict"}, i, false},
+               {"evict", {"evict"}, i, false}};
+    m.release = "rel";
+    return m;
+  }
+  if (p.name == "invalidate") {
+    const ir::StateId s = p.remote.find_state("S");
+    const ir::StateId x = p.remote.find_state("M");
+    const ir::StateId i = p.remote.find_state("I");
+    CCREF_REQUIRE(s != ir::kNoState && x != ir::kNoState &&
+                  i != ir::kNoState);
+    m.vocabulary = {"read", "write", "reqS", "reqX", "evict"};
+    // A read is served by S or by an already-held M (read-after-own-write
+    // must not wait for a downgrade that never comes).
+    m.specs = {{"r", {"read", "reqS"}, s, false, x},
+               {"w", {"write", "reqX"}, x, true},
+               {"acq", {"write", "reqX"}, x, false},
+               {"rel", {"evict"}, i, false},
+               {"evict", {"evict"}, i, false}};
+    m.release = "rel";
+    return m;
+  }
+  if (p.name == "lockserver") {
+    const ir::StateId cs = p.remote.find_state("CS");
+    const ir::StateId i = p.remote.find_state("I");
+    CCREF_REQUIRE(cs != ir::kNoState && i != ir::kNoState);
+    // Active sends surface the *message* name as the decision ("acq"); the
+    // REL send is obligatory once unlocked, so only "unlock" gates it.
+    m.vocabulary = {"acq", "unlock"};
+    m.specs = {{"acq", {"acq"}, cs, false},
+               {"rel", {"unlock"}, i, false}};
+    m.release = "rel";
+    return m;
+  }
+  return std::nullopt;
+}
+
+// ---- WorkloadSource ---------------------------------------------------------
+
+bool WorkloadSource::next(std::uint32_t node, DesOp& op) {
+  const auto& ops = w_->per_remote[node];
+  std::size_t& cur = cursors_[node];
+  if (cur >= ops.size()) return false;
+  const Op& o = ops[cur++];
+  op = DesOp{};
+  op.name = o.name.c_str();
+  op.decisions = &o.decisions;
+  op.goal = o.goal;
+  return true;
+}
+
+// ---- SyntheticSource --------------------------------------------------------
+
+SyntheticSource::SyntheticSource(const ir::Protocol& p,
+                                 const SyntheticConfig& cfg)
+    : cfg_(cfg) {
+  auto m = OpMap::for_protocol(p);
+  CCREF_REQUIRE_MSG(m.has_value(),
+                    "no op mapping for this protocol; synthetic workloads "
+                    "support migratory/invalidate/lockserver");
+  map_ = std::move(*m);
+  read_ = map_.find(cfg_.kind == "lock_server" ? "acq" : "r");
+  write_ = map_.find(cfg_.kind == "lock_server" ? "acq" : "w");
+  release_ = map_.find(map_.release);
+  CCREF_REQUIRE(read_ && write_ && release_);
+  CCREF_REQUIRE(cfg_.nodes >= 1 && cfg_.addresses >= 1);
+  cursors_.reserve(cfg_.nodes);
+  for (std::uint32_t i = 0; i < cfg_.nodes; ++i)
+    cursors_.push_back(NodeCursor{Rng(node_seed(cfg_.seed, i)),
+                                  cfg_.ops_per_node, false, 0, false});
+}
+
+bool SyntheticSource::next(std::uint32_t node, DesOp& op) {
+  NodeCursor& c = cursors_[node];
+  op = DesOp{};
+  if (c.release_next) {
+    // Hold the line/lock briefly, then relinquish it.
+    c.release_next = false;
+    op.name = release_->mnemonic.c_str();
+    op.decisions = &release_->decisions;
+    op.goal = release_->goal;
+    op.alt_goal = release_->alt_goal;
+    op.think = cfg_.think_mean ? c.rng.below(cfg_.think_mean + 1) : 0;
+    op.addr = c.addr;
+    return true;
+  }
+  if (c.pairs_left == 0) return false;
+  --c.pairs_left;
+  c.addr = cfg_.addresses > 1 ? c.rng.below(cfg_.addresses) : 0;
+  const OpSpec* spec =
+      c.rng.chance(cfg_.write_fraction) ? write_ : read_;
+  op.name = spec->mnemonic.c_str();
+  op.decisions = &spec->decisions;
+  op.goal = spec->goal;
+  op.alt_goal = spec->alt_goal;
+  op.write = spec->write;
+  op.addr = c.addr;
+  if (!c.started && cfg_.arrival_window > 0)
+    op.think = c.rng.below(cfg_.arrival_window);  // open-loop arrival
+  else
+    op.think = cfg_.think_mean ? c.rng.below(2 * cfg_.think_mean + 1) : 0;
+  c.started = true;
+  c.release_next = true;
+  return true;
+}
+
+// ---- TraceSource ------------------------------------------------------------
+
+TraceSource::TraceSource(const ir::Protocol& p, const Trace& trace)
+    : trace_(&trace) {
+  auto m = OpMap::for_protocol(p);
+  CCREF_REQUIRE_MSG(m.has_value(), "no trace op mapping for this protocol");
+  map_ = std::move(*m);
+  per_node_.resize(trace.num_nodes());
+  for (std::uint32_t r = 0; r < trace.records.size(); ++r)
+    per_node_[trace.records[r].node].push_back(r);
+  cursors_.assign(per_node_.size(), 0);
+}
+
+bool TraceSource::next(std::uint32_t node, DesOp& op) {
+  std::size_t& cur = cursors_[node];
+  const auto& idx = per_node_[node];
+  if (cur >= idx.size()) return false;
+  const TraceRecord& r = trace_->records[idx[cur++]];
+  const OpSpec* spec = map_.find(r.op);
+  CCREF_REQUIRE_MSG(spec != nullptr, "trace op not mapped for protocol");
+  op = DesOp{};
+  op.name = spec->mnemonic.c_str();
+  op.decisions = &spec->decisions;
+  op.goal = spec->goal;
+  op.alt_goal = spec->alt_goal;
+  op.write = spec->write;
+  op.addr = r.addr;
+  op.think = r.think;
+  return true;
+}
+
+}  // namespace ccref::sim

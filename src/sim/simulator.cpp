@@ -49,6 +49,21 @@ void settle(const AsyncState& s, const Workload& w,
   }
 }
 
+/// Point the stall diagnostics at the first remote with an incomplete op:
+/// which op is blocked and what the queues around that remote look like.
+void fill_stall(Stall& stall, const AsyncState& s, const Workload& w,
+                const std::vector<OpCursor>& cursors) {
+  stall.home_buffer = s.home.buffer.size();
+  for (std::size_t i = 0; i < cursors.size(); ++i) {
+    if (cursors[i].next >= w.per_remote[i].size()) continue;
+    stall.op = w.per_remote[i][cursors[i].next].name;
+    stall.remote = static_cast<int>(i);
+    stall.up_occupancy = s.up[i].size();
+    stall.down_occupancy = s.down[i].size();
+    return;
+  }
+}
+
 [[nodiscard]] bool decision_allowed(const sem::Label& label,
                                     const Workload& w,
                                     const std::set<std::string>& vocab,
@@ -97,7 +112,9 @@ SimStats simulate(const AsyncSystem& system, const Workload& workload,
       if (decision_allowed(succs[t].second, workload, vocab, cursors))
         eligible.push_back(t);
     if (eligible.empty()) {
-      stats.stall = "no eligible transition in " + system.describe(state);
+      stats.stall.reason = "no eligible transition in " +
+                           system.describe(state);
+      fill_stall(stats.stall, state, workload, cursors);
       break;
     }
     auto& [next, label] = succs[eligible[rng.below(eligible.size())]];
@@ -108,8 +125,10 @@ SimStats simulate(const AsyncSystem& system, const Workload& workload,
     if (label.completes_rendezvous) ++stats.completions;
     state = std::move(next);
   }
-  if (!stats.finished && stats.stall.empty())
-    stats.stall = "step budget exhausted";
+  if (!stats.finished && !stats.stall.stalled()) {
+    stats.stall.reason = "step budget exhausted";
+    fill_stall(stats.stall, state, workload, cursors);
+  }
   for (const auto& r : stats.remotes) stats.ops_total += r.ops_completed;
   return stats;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "runtime/async_system.hpp"
+#include "sim/stats.hpp"
 #include "sim/workload.hpp"
 
 namespace ccref::sim {
@@ -40,7 +41,7 @@ struct SimStats {
   std::uint64_t ops_total = 0;
   std::vector<RemoteStats> remotes;
   bool finished = false;  // every op completed
-  std::string stall;      // non-empty if the run wedged before finishing
+  Stall stall;            // stalled() if the run wedged before finishing
 
   [[nodiscard]] std::uint64_t messages() const {
     return req + ack + nack + repl;

@@ -1,0 +1,114 @@
+#include "sim/trace.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace ccref::sim {
+
+namespace {
+
+const char* const kKnownOps[] = {"r", "w", "acq", "rel", "evict"};
+
+[[nodiscard]] bool known_op(const std::string& op) {
+  for (const char* k : kKnownOps)
+    if (op == k) return true;
+  return false;
+}
+
+/// Parse one unsigned field (decimal, or 0x-hex for addresses).
+[[nodiscard]] bool parse_u64(const std::string& tok, std::uint64_t& out) {
+  if (tok.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 0);
+  if (errno != 0 || end != tok.c_str() + tok.size()) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+bool parse_trace(const std::string& text, Trace& out, std::string& error) {
+  Trace t;
+  std::size_t pos = 0;
+  int lineno = 0;
+  while (pos < text.size()) {
+    ++lineno;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (std::size_t hash = line.find('#'); hash != std::string::npos)
+      line.resize(hash);
+
+    std::vector<std::string> tok;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                                 line[i] == '\r'))
+        ++i;
+      std::size_t start = i;
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+             line[i] != '\r')
+        ++i;
+      if (i > start) tok.push_back(line.substr(start, i - start));
+    }
+    if (tok.empty()) continue;
+    if (tok.size() != 4) {
+      error = strf("line %d: expected 4 fields <node> <op> <addr> <think>, "
+                   "got %zu",
+                   lineno, tok.size());
+      return false;
+    }
+    TraceRecord r;
+    std::uint64_t node = 0;
+    if (!parse_u64(tok[0], node) || node > 0xffffffffull) {
+      error = strf("line %d: bad node id '%s'", lineno, tok[0].c_str());
+      return false;
+    }
+    r.node = static_cast<std::uint32_t>(node);
+    r.op = tok[1];
+    if (!known_op(r.op)) {
+      error = strf("line %d: unknown op '%s' (r/w/acq/rel/evict)", lineno,
+                   tok[1].c_str());
+      return false;
+    }
+    if (!parse_u64(tok[2], r.addr)) {
+      error = strf("line %d: bad address '%s'", lineno, tok[2].c_str());
+      return false;
+    }
+    if (!parse_u64(tok[3], r.think)) {
+      error = strf("line %d: bad think time '%s'", lineno, tok[3].c_str());
+      return false;
+    }
+    t.max_node = std::max(t.max_node, r.node);
+    t.records.push_back(std::move(r));
+  }
+  out = std::move(t);
+  error.clear();
+  return true;
+}
+
+bool load_trace(const std::string& path, Trace& out, std::string& error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    text.append(buf, got);
+  std::fclose(f);
+  if (!parse_trace(text, out, error)) {
+    error = path + ": " + error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ccref::sim

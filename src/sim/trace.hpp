@@ -1,0 +1,51 @@
+// Trace-file workloads: replay recorded per-node operation streams.
+//
+// Text format, one record per line, whitespace-separated:
+//
+//     <node> <op> <addr> <think>
+//
+//   node   decimal node id (0-based)
+//   op     operation mnemonic, protocol-mapped by the workload layer:
+//          r (read), w (write), acq (lock acquire), rel (lock release),
+//          evict (drop the line) — unknown mnemonics are a parse error
+//   addr   decimal or 0x-hex block/lock address
+//   think  cycles the node computes before issuing this op (after its
+//          previous op completed)
+//
+// `#` starts a comment (whole line or trailing); blank lines are skipped.
+// Records are per-node FIFO: the order of lines for one node is its program
+// order. Two example traces ship under examples/traces/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccref::sim {
+
+struct TraceRecord {
+  std::uint32_t node = 0;
+  std::string op;
+  std::uint64_t addr = 0;
+  std::uint64_t think = 0;
+};
+
+struct Trace {
+  std::vector<TraceRecord> records;  // file order
+  std::uint32_t max_node = 0;        // highest node id seen
+
+  [[nodiscard]] std::uint32_t num_nodes() const {
+    return records.empty() ? 0 : max_node + 1;
+  }
+};
+
+/// Parse a trace from text. On error returns false and sets `error` to
+/// "line N: what" — never partially succeeds.
+[[nodiscard]] bool parse_trace(const std::string& text, Trace& out,
+                               std::string& error);
+
+/// Load and parse a trace file; same error contract plus I/O failures.
+[[nodiscard]] bool load_trace(const std::string& path, Trace& out,
+                              std::string& error);
+
+}  // namespace ccref::sim

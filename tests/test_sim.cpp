@@ -185,7 +185,11 @@ TEST(Sim, StallReportedWhenWorkloadImpossible) {
   sopts.max_steps = 1000;
   auto stats = simulate(sys, w, sopts);
   EXPECT_FALSE(stats.finished);
-  EXPECT_FALSE(stats.stall.empty());
+  ASSERT_TRUE(stats.stall.stalled());
+  // The structured diagnostics name the wedged op and where it sits.
+  EXPECT_EQ(stats.stall.op, "impossible");
+  EXPECT_EQ(stats.stall.remote, 0);
+  EXPECT_NE(stats.stall.to_string().find("impossible"), std::string::npos);
 }
 
 TEST(Sim, ObligatoryActionsAreNeverGated) {
