@@ -192,7 +192,15 @@ int main(int argc, char** argv) {
   // --por ample here and says so in the note.
   opts.por = *por;
   opts.compress = *compress;
-  opts.edge_check = refine::make_simulation_checker(async, rendezvous);
+  // The Equation-1 simulation proof only exists for star protocols: no
+  // single rendezvous prefix corresponds to a mid-flight bus transaction
+  // (DESIGN.md §4.9). Bus protocols get invariant/progress checks on both
+  // levels instead.
+  if (p.topology == ir::Topology::Star)
+    opts.edge_check = refine::make_simulation_checker(async, rendezvous);
+  else
+    std::printf("topology bus: skipping the Equation-1 edge check "
+                "(star-only; both levels are invariant-checked)\n");
   auto as = jobs <= 1 ? verify::explore(async, opts)
                       : verify::par_explore(async, opts, jobs, shards);
   std::printf("asynchronous (%d remotes): %s, %zu states (%.3fs)\n", n,
@@ -233,6 +241,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\nall checks passed — Equation 1 held on every transition.\n");
+  std::printf(p.topology == ir::Topology::Star
+                  ? "\nall checks passed — Equation 1 held on every "
+                    "transition.\n"
+                  : "\nall checks passed — both levels invariant-clean.\n");
   return prog.doomed == 0 ? 0 : 1;
 }

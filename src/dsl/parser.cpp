@@ -25,11 +25,11 @@ std::string ParseResult::error_text() const {
 namespace {
 
 const std::set<std::string_view> kReserved = {
-    "protocol", "message", "home", "remote", "var",  "state",
-    "internal", "initial", "tau",  "skip",   "true", "false",
-    "self",     "empty",   "size", "node",   "none", "any",  "pick",
-    "as",       "mod",     "in",   "h",      "r",    "bool",
-    "int",      "nodeset"};
+    "protocol", "message", "home",  "remote", "var",  "state",
+    "internal", "initial", "tau",   "skip",   "true", "false",
+    "self",     "empty",   "size",  "node",   "none", "any",  "pick",
+    "as",       "mod",     "in",    "h",      "r",    "bool",
+    "int",      "nodeset", "topology", "bus", "star", "bcast"};
 
 struct ParseAbort {};
 
@@ -43,6 +43,16 @@ class Parser {
     std::string name = ident("protocol name");
     expect(Tok::Semi);
     builder_.emplace(name);
+    if (at_word("topology")) {
+      advance();
+      if (eat_word("bus")) {
+        bus_ = true;
+        builder_->topology(ir::Topology::Bus);
+      } else if (!eat_word("star")) {
+        fail(peek(), "expected 'bus' or 'star' after 'topology'");
+      }
+      expect(Tok::Semi);
+    }
     while (at_word("message")) parse_message();
     expect_word("home");
     parse_process(builder_->home(), /*is_home=*/true);
@@ -222,13 +232,30 @@ class Parser {
       return;
     }
 
-    // Peer prefix: 'h' or 'r(...)'.
-    enum class Peer { Home, Any, Pick, Expr } peer = Peer::Home;
+    // Peer prefix: 'h', 'r(...)' or 'bcast'.
+    enum class Peer { Home, Any, Pick, Expr, Bcast } peer = Peer::Home;
     ExprP peer_expr;
     VarId bind_peer = ir::kNoVar;
     if (eat_word("h")) {
       peer = Peer::Home;
       if (is_home_) fail(peek(), "the home cannot address itself");
+    } else if (at_word("bcast")) {
+      if (is_home_)
+        fail(peek(),
+             "the home cannot use 'bcast'; it observes broadcasts through "
+             "'r(any v)?' and replies with 'r(e)!'");
+      if (!bus_)
+        fail(peek(),
+             "'bcast' requires 'topology bus;' after the protocol "
+             "declaration (this protocol is star)");
+      advance();
+      peer = Peer::Bcast;
+      // Optional requester binder: bcast(v)?M — v receives the sender id.
+      if (peek().is(Tok::LParen)) {
+        advance();
+        bind_peer = lookup_var(ident("binder variable"));
+        expect(Tok::RParen);
+      }
     } else if (eat_word("r")) {
       if (!is_home_)
         fail(peek(), "remotes communicate only with the home ('h')");
@@ -273,6 +300,9 @@ class Parser {
         case Peer::Expr:
           ib.from(peer_expr);
           break;
+        case Peer::Bcast:
+          ib.from_bcast(bind_peer);
+          break;
         case Peer::Pick:
           fail(peek(), "'pick' is only valid on output guards");
       }
@@ -307,6 +337,13 @@ class Parser {
           break;
         case Peer::Pick:
           ob.to_any_in(peer_expr, bind_peer);
+          break;
+        case Peer::Bcast:
+          if (bind_peer != ir::kNoVar)
+            fail(peek(),
+                 "a requester binder is only valid on 'bcast(v)?' snoop "
+                 "inputs, not broadcast outputs");
+          ob.bcast();
           break;
         case Peer::Any:
           fail(peek(), "'any' is only valid on input guards");
@@ -490,6 +527,7 @@ class Parser {
   std::optional<ir::ProtocolBuilder> builder_;
   ir::ProcessBuilder* proc_ = nullptr;
   bool is_home_ = false;
+  bool bus_ = false;
   std::map<std::string, ir::MsgId, std::less<>> messages_;
   std::map<std::string, VarId, std::less<>> vars_;
   std::set<std::string, std::less<>> states_;

@@ -38,6 +38,11 @@ InputB& InputB::from(ExprP node) {
   g_.from = {PeerSrc::Kind::Expr, std::move(node)};
   return *this;
 }
+InputB& InputB::from_bcast(VarId bind_peer) {
+  g_.from = {PeerSrc::Kind::Bcast, nullptr};
+  g_.bind_peer = bind_peer;
+  return *this;
+}
 InputB& InputB::when(ExprP cond) {
   g_.cond = std::move(cond);
   return *this;
@@ -79,6 +84,10 @@ OutputB& OutputB::to(ExprP node) {
 OutputB& OutputB::to_any_in(ExprP set, VarId bind_peer) {
   g_.to = {PeerSel::Kind::AnyInSet, std::move(set)};
   g_.bind_peer = bind_peer;
+  return *this;
+}
+OutputB& OutputB::bcast() {
+  g_.to = {PeerSel::Kind::Bcast, nullptr};
   return *this;
 }
 OutputB& OutputB::when(ExprP cond) {
@@ -221,9 +230,15 @@ MsgId ProtocolBuilder::msg(std::string name, std::vector<Type> payload) {
   return static_cast<MsgId>(messages_.size() - 1);
 }
 
+ProtocolBuilder& ProtocolBuilder::topology(Topology t) {
+  topology_ = t;
+  return *this;
+}
+
 Protocol ProtocolBuilder::build() const {
   Protocol p;
   p.name = name_;
+  p.topology = topology_;
   p.messages = messages_;
   p.home = home_.finish();
   p.remote = remote_.finish();

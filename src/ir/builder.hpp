@@ -41,6 +41,7 @@ class InputB {
   InputB& from_home();
   InputB& from_any(VarId bind_peer = kNoVar);
   InputB& from(ExprP node);
+  InputB& from_bcast(VarId bind_peer = kNoVar);  // snoop; binds the requester
   InputB& when(ExprP cond);
   InputB& bind(std::vector<VarId> payload_vars);
   InputB& act(StmtP action);
@@ -60,6 +61,7 @@ class OutputB {
   OutputB& to_home();
   OutputB& to(ExprP node);
   OutputB& to_any_in(ExprP set, VarId bind_peer = kNoVar);
+  OutputB& bcast();  // bus broadcast to the home and every other remote
   OutputB& when(ExprP cond);
   OutputB& pay(std::vector<ExprP> payload);
   OutputB& act(StmtP action);
@@ -131,6 +133,9 @@ class ProtocolBuilder {
   /// Declare a message type with payload field types.
   MsgId msg(std::string name, std::vector<Type> payload = {});
 
+  /// Set the interconnect topology (default Star).
+  ProtocolBuilder& topology(Topology t);
+
   [[nodiscard]] ProcessBuilder& home() { return home_; }
   [[nodiscard]] ProcessBuilder& remote() { return remote_; }
 
@@ -140,6 +145,7 @@ class ProtocolBuilder {
 
  private:
   std::string name_;
+  Topology topology_ = Topology::Star;
   std::vector<MsgDecl> messages_;
   ProcessBuilder home_;
   ProcessBuilder remote_;

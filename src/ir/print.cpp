@@ -21,6 +21,10 @@ std::string peer_src(const PeerSrc& src, const Process& proc,
                  : strf("r(any %s)", var_name(proc, bind_peer).c_str());
     case PeerSrc::Kind::Expr:
       return "r(" + to_string(*src.expr, proc) + ")";
+    case PeerSrc::Kind::Bcast:
+      return bind_peer == kNoVar
+                 ? "bcast"
+                 : strf("bcast(%s)", var_name(proc, bind_peer).c_str());
   }
   return "?";
 }
@@ -39,6 +43,8 @@ std::string peer_sel(const PeerSel& sel, const Process& proc,
                  : strf("r(pick %s as %s)", set.c_str(),
                         var_name(proc, bind_peer).c_str());
     }
+    case PeerSel::Kind::Bcast:
+      return "bcast";
   }
   return "?";
 }
@@ -127,6 +133,7 @@ std::string to_string(const Process& proc, const Protocol& protocol) {
 
 std::string to_string(const Protocol& protocol) {
   std::string out = strf("protocol %s;\n", protocol.name.c_str());
+  if (protocol.topology == Topology::Bus) out += "topology bus;\n";
   for (const auto& m : protocol.messages) {
     out += "message " + m.name;
     if (!m.payload.empty()) {

@@ -29,17 +29,24 @@ enum class Role : std::uint8_t { Home, Remote };
 ///              (e.g. r(o)!inv — invalidate the current owner).
 ///   AnyInSet — any member of a NodeSet expression (nondeterministic choice,
 ///              e.g. pick a sharer from the copyset to invalidate).
+///   Bcast    — broadcast: the bus rendezvous with the home *and* every
+///              other remote at once (remote outputs, `topology bus` only).
 struct PeerSel {
-  enum class Kind : std::uint8_t { Home, Expr, AnyInSet } kind = Kind::Home;
+  enum class Kind : std::uint8_t { Home, Expr, AnyInSet, Bcast } kind =
+      Kind::Home;
   ExprP expr;  // Node for Expr, NodeSet for AnyInSet
 };
 
 /// Input-guard source.
-///   Home — from the home (remote processes).
-///   Any  — from any remote r(i), binding i (home's generalized input).
-///   Expr — from the specific remote r(e) (e.g. r(o)?LR).
+///   Home  — from the home (remote processes).
+///   Any   — from any remote r(i), binding i (home's generalized input).
+///   Expr  — from the specific remote r(e) (e.g. r(o)?LR).
+///   Bcast — a snooped broadcast from any *other* remote, binding the
+///           requester (remote inputs, `topology bus` only). A remote with
+///           no enabled Bcast guard for the message simply ignores the
+///           snoop (hardware caches in I ignore bus traffic they miss on).
 struct PeerSrc {
-  enum class Kind : std::uint8_t { Home, Any, Expr } kind = Kind::Home;
+  enum class Kind : std::uint8_t { Home, Any, Expr, Bcast } kind = Kind::Home;
   ExprP expr;  // Node expression for Expr
 };
 
@@ -102,15 +109,32 @@ struct Process {
   [[nodiscard]] StateId find_state(std::string_view name) const;
 
   /// True if a remote communication state is *active* (single output guard).
+  /// Under `topology bus` an active state may additionally carry `bcast?`
+  /// snoop inputs: a cache waiting to win the bus still snoops other
+  /// transactions (this is what makes writeback races resolvable — the
+  /// pending writeback is cancelled when a BusRdX snoops the line away).
+  /// Star-validated processes never have Bcast inputs, so the relaxed
+  /// predicate is equivalent to the §2.4 one for them.
   [[nodiscard]] static bool is_active_state(const State& s) {
-    return s.kind == StateKind::Comm && s.outputs.size() == 1 &&
-           s.inputs.empty() && s.taus.empty();
+    if (s.kind != StateKind::Comm || s.outputs.size() != 1 ||
+        !s.taus.empty())
+      return false;
+    for (const auto& in : s.inputs)
+      if (in.from.kind != PeerSrc::Kind::Bcast) return false;
+    return true;
   }
 };
+
+/// Interconnect shape. Star is the paper's §2 topology (every rendezvous
+/// pairs one remote with the home). Bus relaxes §2.4: remote outputs may
+/// broadcast (PeerSel::Kind::Bcast) and remote inputs may snoop broadcasts
+/// (PeerSrc::Kind::Bcast); the home still mediates every broadcast.
+enum class Topology : std::uint8_t { Star, Bus };
 
 /// A full rendezvous protocol: message vocabulary, home, remote template.
 struct Protocol {
   std::string name;
+  Topology topology = Topology::Star;
   std::vector<MsgDecl> messages;
   Process home;
   Process remote;

@@ -130,6 +130,25 @@ struct Checker {
       error(where, "bind_peer variable must have type node");
   }
 
+  /// A broadcast is home-mediated: it can only fire when the home has an
+  /// enabled generalized input for the message. With no such guard at all
+  /// the broadcast is permanently disabled — a modelling error, not a
+  /// reachable deadlock, so diagnose it statically.
+  void check_bcast_home_partner(const OutputGuard& g,
+                                const std::string& where) {
+    for (const auto& hs : protocol.home.states)
+      for (const auto& hg : hs.inputs)
+        if (hg.msg == g.msg && hg.from.kind == PeerSrc::Kind::Any) return;
+    const char* msg_name = g.msg < protocol.messages.size()
+                               ? protocol.messages[g.msg].name.c_str()
+                               : "?";
+    error(where,
+          strf("broadcast message '%s' has no generalized home input "
+               "'r(any v)?%s' — a broadcast is home-mediated and could "
+               "never fire",
+               msg_name, msg_name));
+  }
+
   void check_process(const Process& proc) {
     const char* pn = proc.name.c_str();
     if (proc.initial >= proc.states.size())
@@ -154,14 +173,27 @@ struct Checker {
           error(base, "communication state has no guards");
       }
 
-      // §2.4: remote comm states are single-output active or passive.
+      // §2.4: remote comm states are single-output active or passive. Under
+      // topology bus an active state may also snoop ('bcast?' inputs only).
       if (proc.role == Role::Remote && s.kind == StateKind::Comm) {
         bool active = !s.outputs.empty();
-        if (active &&
-            (s.outputs.size() != 1 || !s.inputs.empty() || !s.taus.empty()))
-          error(base,
-                "remote active state must have exactly one output guard and "
-                "no other guards (§2.4)");
+        if (active) {
+          bool ok = s.outputs.size() == 1 && s.taus.empty();
+          if (protocol.topology == Topology::Bus) {
+            for (const auto& in : s.inputs)
+              if (in.from.kind != PeerSrc::Kind::Bcast) ok = false;
+          } else {
+            ok = ok && s.inputs.empty();
+          }
+          if (!ok)
+            error(base,
+                  protocol.topology == Topology::Bus
+                      ? "remote active state must have exactly one output "
+                        "guard, no taus, and only 'bcast?' snoop inputs "
+                        "(§2.4 relaxed for topology bus)"
+                      : "remote active state must have exactly one output "
+                        "guard and no other guards (§2.4)");
+        }
       }
 
       for (std::size_t gi = 0; gi < s.inputs.size(); ++gi) {
@@ -173,26 +205,44 @@ struct Checker {
         check_bind_peer(g.bind_peer, proc, where);
         if (g.next >= proc.states.size())
           error(where, "next state out of range");
+        const bool bus = protocol.topology == Topology::Bus;
         switch (g.from.kind) {
           case PeerSrc::Kind::Home:
             if (proc.role == Role::Home)
-              error(where, "home cannot receive from itself (star topology)");
+              error(where, "home cannot receive from itself");
             break;
           case PeerSrc::Kind::Any:
             if (proc.role == Role::Remote)
               error(where,
-                    "remote receives only from the home (star topology)");
+                    bus ? "remote receives from the home or snoops "
+                          "broadcasts ('bcast?') under topology bus"
+                        : "remote receives only from the home (star "
+                          "topology)");
             break;
           case PeerSrc::Kind::Expr:
             if (proc.role == Role::Remote)
               error(where,
-                    "remote receives only from the home (star topology)");
+                    bus ? "remote receives from the home or snoops "
+                          "broadcasts ('bcast?') under topology bus"
+                        : "remote receives only from the home (star "
+                          "topology)");
             else
               expect_type(g.from.expr, proc, Type::Node, where,
                           "source peer expression");
             break;
+          case PeerSrc::Kind::Bcast:
+            if (proc.role == Role::Home)
+              error(where,
+                    "the home observes broadcasts through its generalized "
+                    "'r(any v)?' input, not a 'bcast?' snoop guard");
+            else if (!bus)
+              error(where,
+                    "'bcast?' snoop guard requires 'topology bus;' (this "
+                    "protocol is star)");
+            break;
         }
-        if (g.bind_peer != kNoVar && g.from.kind != PeerSrc::Kind::Any)
+        if (g.bind_peer != kNoVar && g.from.kind != PeerSrc::Kind::Any &&
+            g.from.kind != PeerSrc::Kind::Bcast)
           warn(where, "bind_peer on a non-Any source is redundant");
       }
 
@@ -205,24 +255,53 @@ struct Checker {
         check_bind_peer(g.bind_peer, proc, where);
         if (g.next >= proc.states.size())
           error(where, "next state out of range");
+        const bool bus = protocol.topology == Topology::Bus;
         switch (g.to.kind) {
           case PeerSel::Kind::Home:
             if (proc.role == Role::Home)
-              error(where, "home cannot send to itself (star topology)");
+              error(where, "home cannot send to itself");
             break;
           case PeerSel::Kind::Expr:
             if (proc.role == Role::Remote)
-              error(where, "remote sends only to the home (star topology)");
+              error(where,
+                    bus ? "remote sends to the home or broadcasts "
+                          "('bcast!') under topology bus; a bus cannot "
+                          "address one peer from a remote"
+                        : "remote sends only to the home (star topology)");
             else
               expect_type(g.to.expr, proc, Type::Node, where,
                           "target peer expression");
             break;
           case PeerSel::Kind::AnyInSet:
             if (proc.role == Role::Remote)
-              error(where, "remote sends only to the home (star topology)");
+              error(where,
+                    bus ? "remote sends to the home or broadcasts "
+                          "('bcast!') under topology bus; a bus cannot "
+                          "address one peer from a remote"
+                        : "remote sends only to the home (star topology)");
+            else if (bus)
+              error(where,
+                    "a bus cannot address a nondeterministically chosen "
+                    "peer ('pick') — under topology bus the home replies "
+                    "to a specific requester (r(e)!) and only remotes "
+                    "broadcast");
             else
               expect_type(g.to.expr, proc, Type::NodeSet, where,
                           "target peer set expression");
+            break;
+          case PeerSel::Kind::Bcast:
+            if (proc.role == Role::Home)
+              error(where,
+                    bus ? "the home replies point-to-point (r(e)!); only "
+                          "remotes broadcast on the bus"
+                        : "'bcast!' requires 'topology bus;' (this protocol "
+                          "is star)");
+            else if (!bus)
+              error(where,
+                    "'bcast!' requires 'topology bus;' (this protocol is "
+                    "star)");
+            else if (protocol.home.role == Role::Home)
+              check_bcast_home_partner(g, where);
             break;
         }
         if (g.bind_peer != kNoVar && g.to.kind != PeerSel::Kind::AnyInSet)

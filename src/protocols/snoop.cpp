@@ -1,0 +1,453 @@
+#include "protocols/snoop.hpp"
+
+#include "dsl/parser.hpp"
+#include "ir/validate.hpp"
+#include "support/strings.hpp"
+
+namespace ccref::protocols {
+
+using ir::kNoState;
+using ir::StateId;
+
+namespace {
+
+// The protocols are DSL sources, not builder calls: the snooping family is
+// what exercises the whole lexer → parser → ir → validate pipeline behind
+// `topology bus`. ir::print round-trips this surface syntax.
+
+constexpr const char* kMesi = R"(
+protocol mesi;
+topology bus;
+
+message BusRd;
+message BusRdX;
+message BusWB;
+message Evict;
+message GrS;
+message GrE;
+message GrM;
+
+home h {
+  var cs: nodeset;
+  var o: node;
+  var jj: node;
+  state H initial {
+    [o == none] r(any jj)?BusRd -> Grd
+    [o != none] r(any jj)?BusRd { cs += {o}; o := none } -> Grd
+    r(any jj)?BusRdX { cs := {}; o := none } -> Gwr
+    r(any jj)?BusWB { o := none; cs -= {jj}; jj := none } -> H
+    r(any jj)?Evict { cs -= {jj}; jj := none } -> H
+  }
+  state Grd {
+    [empty(cs) && o == none] r(jj)!GrE { cs += {jj}; jj := none } -> H
+    [!(empty(cs) && o == none)] r(jj)!GrS { cs += {jj}; jj := none } -> H
+  }
+  state Gwr {
+    r(jj)!GrM { o := jj; jj := none } -> H
+  }
+}
+
+remote r {
+  state I initial {
+    tau read -> RdA
+    tau write -> WrA
+  }
+  state RdA { bcast!BusRd -> RdW }
+  state RdW {
+    h?GrS -> S
+    h?GrE -> E
+  }
+  state WrA { bcast!BusRdX -> WrW }
+  state WrW { h?GrM -> M }
+  state S {
+    bcast?BusRdX -> I
+    tau write -> WrA
+    tau evict -> EvA
+  }
+  state E {
+    bcast?BusRd -> S
+    bcast?BusRdX -> I
+    tau write -> M
+    tau evict -> EvA
+  }
+  state M {
+    bcast?BusRd -> S
+    bcast?BusRdX -> I
+    tau evict -> WbA
+  }
+  state EvA {
+    bcast?BusRdX -> I
+    h!Evict -> I
+  }
+  state WbA {
+    bcast?BusRd -> EvA
+    bcast?BusRdX -> I
+    bcast!BusWB -> I
+  }
+}
+)";
+
+constexpr const char* kMoesi = R"(
+protocol moesi;
+topology bus;
+
+message BusRd;
+message BusRdX;
+message BusWB;
+message Evict;
+message GrS;
+message GrE;
+message GrM;
+
+home h {
+  var cs: nodeset;
+  var o: node;
+  var jj: node;
+  state H initial {
+    r(any jj)?BusRd -> Grd
+    r(any jj)?BusRdX { cs := {}; o := none } -> Gwr
+    r(any jj)?BusWB { o := none; cs -= {jj}; jj := none } -> H
+    r(any jj)?Evict { cs -= {jj}; jj := none } -> H
+  }
+  state Grd {
+    [empty(cs) && o == none] r(jj)!GrE { cs += {jj}; jj := none } -> H
+    [!(empty(cs) && o == none)] r(jj)!GrS { cs += {jj}; jj := none } -> H
+  }
+  state Gwr {
+    r(jj)!GrM { o := jj; jj := none } -> H
+  }
+}
+
+remote r {
+  state I initial {
+    tau read -> RdA
+    tau write -> WrA
+  }
+  state RdA { bcast!BusRd -> RdW }
+  state RdW {
+    h?GrS -> S
+    h?GrE -> E
+  }
+  state WrA { bcast!BusRdX -> WrW }
+  state WrW { h?GrM -> M }
+  state S {
+    bcast?BusRdX -> I
+    tau write -> WrA
+    tau evict -> EvA
+  }
+  state E {
+    bcast?BusRd -> S
+    bcast?BusRdX -> I
+    tau write -> M
+    tau evict -> EvA
+  }
+  state M {
+    bcast?BusRd -> O
+    bcast?BusRdX -> I
+    tau evict -> WbA
+  }
+  state O {
+    bcast?BusRdX -> I
+    tau write -> WrA
+    tau evict -> WbA
+  }
+  state EvA {
+    bcast?BusRdX -> I
+    h!Evict -> I
+  }
+  state WbA {
+    bcast?BusRdX -> I
+    bcast!BusWB -> I
+  }
+}
+)";
+
+constexpr const char* kMesif = R"(
+protocol mesif;
+topology bus;
+
+message BusRd;
+message BusRdX;
+message BusWB;
+message Evict;
+message GrF;
+message GrE;
+message GrM;
+
+home h {
+  var cs: nodeset;
+  var o: node;
+  var jj: node;
+  state H initial {
+    [o == none] r(any jj)?BusRd -> Grd
+    [o != none] r(any jj)?BusRd { cs += {o}; o := none } -> Grd
+    r(any jj)?BusRdX { cs := {}; o := none } -> Gwr
+    r(any jj)?BusWB { o := none; cs -= {jj}; jj := none } -> H
+    r(any jj)?Evict { cs -= {jj}; jj := none } -> H
+  }
+  state Grd {
+    [empty(cs) && o == none] r(jj)!GrE { cs += {jj}; jj := none } -> H
+    [!(empty(cs) && o == none)] r(jj)!GrF { cs += {jj}; jj := none } -> H
+  }
+  state Gwr {
+    r(jj)!GrM { o := jj; jj := none } -> H
+  }
+}
+
+remote r {
+  state I initial {
+    tau read -> RdA
+    tau write -> WrA
+  }
+  state RdA { bcast!BusRd -> RdW }
+  state RdW {
+    h?GrF -> F
+    h?GrE -> E
+  }
+  state WrA { bcast!BusRdX -> WrW }
+  state WrW { h?GrM -> M }
+  state S {
+    bcast?BusRdX -> I
+    tau write -> WrA
+    tau evict -> EvA
+  }
+  state F {
+    bcast?BusRd -> S
+    bcast?BusRdX -> I
+    tau write -> WrA
+    tau evict -> EvA
+  }
+  state E {
+    bcast?BusRd -> S
+    bcast?BusRdX -> I
+    tau write -> M
+    tau evict -> EvA
+  }
+  state M {
+    bcast?BusRd -> S
+    bcast?BusRdX -> I
+    tau evict -> WbA
+  }
+  state EvA {
+    bcast?BusRdX -> I
+    h!Evict -> I
+  }
+  state WbA {
+    bcast?BusRd -> EvA
+    bcast?BusRdX -> I
+    bcast!BusWB -> I
+  }
+}
+)";
+
+constexpr const char* kDragon = R"(
+protocol dragon;
+topology bus;
+
+message BusRd;
+message BusRdU;
+message BusUpd;
+message BusWB;
+message Evict;
+message GrS;
+message GrE;
+message UpdS;
+message UpdX;
+
+home h {
+  var cs: nodeset;
+  var jj: node;
+  state H initial {
+    r(any jj)?BusRd -> Grd
+    r(any jj)?BusRdU -> Gru
+    r(any jj)?BusUpd -> Gup
+    r(any jj)?BusWB { cs -= {jj}; jj := none } -> H
+    r(any jj)?Evict { cs -= {jj}; jj := none } -> H
+  }
+  state Grd {
+    [empty(cs)] r(jj)!GrE { cs += {jj}; jj := none } -> H
+    [!empty(cs)] r(jj)!GrS { cs += {jj}; jj := none } -> H
+  }
+  state Gru {
+    [empty(cs)] r(jj)!UpdX { cs += {jj}; jj := none } -> H
+    [!empty(cs)] r(jj)!UpdS { cs += {jj}; jj := none } -> H
+  }
+  state Gup {
+    [size(cs) <= 1] r(jj)!UpdX { jj := none } -> H
+    [1 < size(cs)] r(jj)!UpdS { jj := none } -> H
+  }
+}
+
+remote r {
+  state I initial {
+    tau read -> RdA
+    tau write -> RuA
+  }
+  state RdA { bcast!BusRd -> RdW }
+  state RdW {
+    h?GrE -> E
+    h?GrS -> Sc
+  }
+  state RuA { bcast!BusRdU -> RuW }
+  state RuW {
+    h?UpdX -> M
+    h?UpdS -> Sm
+  }
+  state UpA { bcast!BusUpd -> UpW }
+  state UpW {
+    h?UpdX -> M
+    h?UpdS -> Sm
+  }
+  state E {
+    bcast?BusRd -> Sc
+    bcast?BusRdU -> Sc
+    tau write -> M
+    tau evict -> EvA
+  }
+  state Sc {
+    tau write -> UpA
+    tau evict -> EvA
+  }
+  state Sm {
+    bcast?BusUpd -> Sc
+    bcast?BusRdU -> Sc
+    tau write -> UpA
+    tau evict -> WbA
+  }
+  state M {
+    bcast?BusRd -> Sm
+    bcast?BusRdU -> Sc
+    tau evict -> WbA
+  }
+  state EvA { h!Evict -> I }
+  state WbA {
+    bcast?BusUpd -> EvA
+    bcast?BusRdU -> EvA
+    bcast!BusWB -> I
+  }
+}
+)";
+
+ir::Protocol parse_protocol(const char* source) {
+  auto result = dsl::parse(source);
+  CCREF_REQUIRE_MSG(result.protocol.has_value(),
+                    "snooping protocol source failed to parse");
+  auto diags = ir::validate(*result.protocol);
+  CCREF_REQUIRE_MSG(!ir::has_errors(diags),
+                    "snooping protocol failed validation");
+  return std::move(*result.protocol);
+}
+
+/// State-id lookup that tolerates absence (not every protocol has every
+/// state); kNoState never matches a real remote state.
+struct SnoopStates {
+  StateId M, O, Sm, E, S, Sc, F, WbA;
+
+  explicit SnoopStates(const ir::Process& r)
+      : M(r.find_state("M")),
+        O(r.find_state("O")),
+        Sm(r.find_state("Sm")),
+        E(r.find_state("E")),
+        S(r.find_state("S")),
+        Sc(r.find_state("Sc")),
+        F(r.find_state("F")),
+        WbA(r.find_state("WbA")) {}
+
+  [[nodiscard]] bool valid_stable(StateId s) const {
+    return (s == M || s == O || s == Sm || s == E || s == S || s == Sc ||
+            s == F) &&
+           s != kNoState;
+  }
+};
+
+template <typename GetState>
+std::string check_counts(const SnoopStates& st, int n, GetState&& state_of) {
+  int owners = 0, excl = 0, strict_m = 0, forwards = 0, valid = 0;
+  for (int i = 0; i < n; ++i) {
+    const StateId s = state_of(i);
+    if (s == kNoState) continue;
+    if (st.valid_stable(s)) ++valid;
+    if (s == st.M || (st.O != kNoState && s == st.O) ||
+        (st.Sm != kNoState && s == st.Sm))
+      ++owners;
+    if (s == st.M) ++strict_m;
+    if (s == st.E) ++excl;
+    if (st.F != kNoState && s == st.F) ++forwards;
+  }
+  if (owners > 1)
+    return strf("single-writer violated: %d dirty owners", owners);
+  if (excl > 1) return strf("%d caches hold E simultaneously", excl);
+  if (strict_m == 1 && valid > 1)
+    return strf("a cache in M coexists with %d other valid copies",
+                valid - 1);
+  if (excl == 1 && valid > 1)
+    return strf("a cache in E coexists with %d other valid copies",
+                valid - 1);
+  if (forwards > 1)
+    return strf("Forward uniqueness violated: %d caches in F", forwards);
+  return "";
+}
+
+}  // namespace
+
+ir::Protocol make_mesi() { return parse_protocol(kMesi); }
+ir::Protocol make_moesi() { return parse_protocol(kMoesi); }
+ir::Protocol make_mesif() { return parse_protocol(kMesif); }
+ir::Protocol make_dragon() { return parse_protocol(kDragon); }
+
+std::vector<std::pair<std::string, ir::Protocol>> make_snoop_family() {
+  std::vector<std::pair<std::string, ir::Protocol>> family;
+  family.emplace_back("mesi", make_mesi());
+  family.emplace_back("moesi", make_moesi());
+  family.emplace_back("mesif", make_mesif());
+  family.emplace_back("dragon", make_dragon());
+  return family;
+}
+
+std::function<std::string(const sem::RvState&)> snoop_invariant(
+    const ir::Protocol& protocol, int num_remotes) {
+  const SnoopStates st(protocol.remote);
+  CCREF_REQUIRE(st.M != kNoState);
+  const ir::VarId ho = protocol.home.find_var("o");
+  // Protocols with an Owned state let the tracked owner upgrade in place
+  // (O -> WrA -> WrW -> M): it keeps the dirty line the whole way, so the
+  // transit states are legitimate places for the home's `o` to point at.
+  const StateId wr_a =
+      st.O != kNoState ? protocol.remote.find_state("WrA") : kNoState;
+  const StateId wr_w =
+      st.O != kNoState ? protocol.remote.find_state("WrW") : kNoState;
+
+  return [=, &protocol](const sem::RvState& s) -> std::string {
+    std::string err = check_counts(
+        st, num_remotes, [&](int i) { return s.remotes[i].state; });
+    if (!err.empty()) return err;
+    if (ho != ir::kNoVar) {
+      const ir::Value o = s.home.store.get(ho);
+      if (o != ir::kNoNode) {
+        if (o >= static_cast<ir::Value>(num_remotes))
+          return strf("home owner var names non-existent cache %llu",
+                      static_cast<unsigned long long>(o));
+        const StateId os = s.remotes[o].state;
+        if (os != st.M && os != st.O && os != st.WbA &&
+            !(os == wr_a && wr_a != kNoState) &&
+            !(os == wr_w && wr_w != kNoState))
+          return strf("home tracks cache %llu as owner but it is in %s",
+                      static_cast<unsigned long long>(o),
+                      protocol.remote.state(os).name.c_str());
+      }
+    }
+    return "";
+  };
+}
+
+std::function<std::string(const runtime::AsyncState&)> snoop_async_invariant(
+    const ir::Protocol& protocol, int num_remotes) {
+  const SnoopStates st(protocol.remote);
+  CCREF_REQUIRE(st.M != kNoState);
+  return [=](const runtime::AsyncState& s) -> std::string {
+    return check_counts(st, num_remotes,
+                        [&](int i) { return s.remotes[i].state; });
+  };
+}
+
+}  // namespace ccref::protocols

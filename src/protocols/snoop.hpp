@@ -1,0 +1,66 @@
+// The snooping bus family: MESI, MOESI, MESIF and Dragon, written in the
+// DSL under `topology bus` (ROADMAP: the biggest scenario-diversity unlock).
+//
+// All four share one shape. Stable cache states are passive communication
+// states mixing `bcast?` snoop guards with CPU-decision taus; a miss or
+// upgrade walks through an *active* state that broadcasts on the bus
+// (`bcast!BusRd` / `bcast!BusRdX` / ...), and the home — playing bus arbiter
+// plus grant oracle — answers with a point-to-point grant chosen from its
+// copyset/owner bookkeeping (GrE when the line is unshared, GrS/GrF
+// otherwise). Dirty evictions broadcast `BusWB`; because active states under
+// `topology bus` may still snoop, a cache waiting to write back observes a
+// racing BusRdX and cancels (the classic writeback race, resolved the way
+// hardware resolves it). Clean evictions notify the home point-to-point
+// (`Evict`) so the copyset stays a sound grant oracle.
+//
+// Protocol deltas:
+//   MESI   — Illinois: E upgrades to M silently; BusRd demotes M/E to S.
+//   MOESI  — M snooping BusRd becomes O (owner keeps supplying data; no
+//            memory writeback on the read).
+//   MESIF  — grants GrF instead of GrS: the newest sharer holds F and is the
+//            designated responder; the old F demotes to S on the same
+//            broadcast, so F stays unique.
+//   Dragon — update-based: no invalidation. Sc/Sm writers broadcast BusUpd
+//            and learn from the home's UpdS/UpdX reply whether other copies
+//            remain (Sm) or the line is now exclusive (M).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/process.hpp"
+#include "runtime/async_state.hpp"
+#include "sem/rendezvous.hpp"
+
+namespace ccref::protocols {
+
+[[nodiscard]] ir::Protocol make_mesi();
+[[nodiscard]] ir::Protocol make_moesi();
+[[nodiscard]] ir::Protocol make_mesif();
+[[nodiscard]] ir::Protocol make_dragon();
+
+/// All four snooping protocols, for sweeps: (name, protocol) pairs in the
+/// order MESI, MOESI, MESIF, Dragon.
+[[nodiscard]] std::vector<std::pair<std::string, ir::Protocol>>
+make_snoop_family();
+
+/// Coherence invariant at the rendezvous level, shared across the family
+/// (each clause applies when the named states exist in the protocol):
+///   - single writer: at most one cache in a dirty-owner state (M/O/Sm);
+///   - exclusivity: a cache in M or E implies no other cache holds any
+///     valid stable copy (S/E/M/O/F/Sc/Sm);
+///   - Forward uniqueness (MESIF): at most one cache in F;
+///   - owner tracking: when the home's `o` names a cache, that cache is in
+///     M, O or WbA (mid-writeback).
+[[nodiscard]] std::function<std::string(const sem::RvState&)>
+snoop_invariant(const ir::Protocol& protocol, int num_remotes);
+
+/// The same state-count clauses on asynchronous (refined) states. The home
+/// `o` clause is skipped: between the home committing a grant and the
+/// requester consuming it, `o` legitimately names a cache still in its wait
+/// state.
+[[nodiscard]] std::function<std::string(const runtime::AsyncState&)>
+snoop_async_invariant(const ir::Protocol& protocol, int num_remotes);
+
+}  // namespace ccref::protocols

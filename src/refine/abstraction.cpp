@@ -54,6 +54,12 @@ RvState abstract(const AsyncSystem& async, const AsyncState& s) {
   const RefinedProtocol& rp = async.refined();
   CCREF_REQUIRE_MSG(rp.options.elide_ack.empty(),
                     "abs is undefined for elide-ack (hand-design) variants");
+  CCREF_REQUIRE_MSG(rp.base->topology == ir::Topology::Star,
+                    "abs is defined for star protocols only: a mid-flight "
+                    "bus transaction has already moved the snooped remotes "
+                    "while the home guard is still pending, so no single "
+                    "rendezvous prefix corresponds to it (bus protocols are "
+                    "checked by invariants at both levels instead)");
   const ir::Protocol& p = async.protocol();
   const int n = async.num_remotes();
 
@@ -135,6 +141,9 @@ std::function<std::string(const AsyncState&, const AsyncState&,
                           const sem::Label&)>
 make_simulation_checker(const AsyncSystem& async,
                         const sem::RendezvousSystem& rendezvous) {
+  CCREF_REQUIRE_MSG(async.protocol().topology == ir::Topology::Star,
+                    "the §4 simulation checker requires a star protocol "
+                    "(abs is undefined mid bus transaction)");
   auto encode = [&rendezvous](const RvState& s) {
     ByteSink sink;
     rendezvous.encode(s, sink);

@@ -343,11 +343,22 @@ RefinedProtocol refine(const Protocol& protocol, const Options& options) {
   const Process& remote = protocol.remote;
   const Process& home = protocol.home;
 
+  // ---- broadcasts (topology bus) -------------------------------------------
+  // A broadcast message refines to a split bus transaction (request,
+  // home-sequenced snoops, ack) interpreted directly by the async runtime.
+  // It opts out of the §3 point-to-point scheme and never fuses.
+  for (const State& st : remote.states)
+    for (const auto& og : st.outputs)
+      if (og.to.kind == PeerSel::Kind::Bcast)
+        rp.msg_class[og.msg] = MsgClass::Broadcast;
+
   // ---- ElideAck (hand-design deviation) ------------------------------------
   for (const auto& name : options.elide_ack) {
     MsgId m = protocol.find_message(name);
     CCREF_REQUIRE_MSG(sites[m].home_out.empty(),
                       "elide_ack supports remote->home messages only");
+    CCREF_REQUIRE_MSG(rp.msg_class[m] != MsgClass::Broadcast,
+                      "elide_ack does not apply to broadcast messages");
     rp.msg_class[m] = MsgClass::ElideAck;
   }
 

@@ -14,6 +14,9 @@
 //                  the ack of the FusedRequest (gr and ID).
 //   ElideAck     — hand-design deviation (Options::elide_ack): the sender
 //                  commits at send time; the home must always accept.
+//   Broadcast    — bus transaction (`bcast!` under topology bus): refined to
+//                  a split transaction (request, home-sequenced snoops, ack)
+//                  by the runtime; never participates in §3.3 fusion.
 #pragma once
 
 #include <optional>
@@ -24,7 +27,13 @@
 
 namespace ccref::refine {
 
-enum class MsgClass : std::uint8_t { Normal, FusedRequest, Reply, ElideAck };
+enum class MsgClass : std::uint8_t {
+  Normal,
+  FusedRequest,
+  Reply,
+  ElideAck,
+  Broadcast,
+};
 
 [[nodiscard]] constexpr const char* to_string(MsgClass c) {
   switch (c) {
@@ -32,6 +41,7 @@ enum class MsgClass : std::uint8_t { Normal, FusedRequest, Reply, ElideAck };
     case MsgClass::FusedRequest: return "fused-request";
     case MsgClass::Reply: return "reply";
     case MsgClass::ElideAck: return "elide-ack";
+    case MsgClass::Broadcast: return "broadcast";
   }
   return "?";
 }

@@ -82,7 +82,13 @@ inline void reset_label(sem::Label& l) {
 
 class AsyncExec {
  public:
-  explicit AsyncExec(const AsyncSystem& sys) : sys_(&sys) {}
+  explicit AsyncExec(const AsyncSystem& sys) : sys_(&sys) {
+    CCREF_REQUIRE_MSG(
+        sys.protocol().topology == ir::Topology::Star,
+        "AsyncExec drives star protocols only: the in-place executor does "
+        "not implement split bus transactions (use AsyncSystem::successors "
+        "for bus protocols)");
+  }
 
   /// Deliver the head of up[i] to the home (rows T1-T3 / buffer admission).
   /// Blocked when a required nack cannot be sent because down[i] is full.

@@ -12,6 +12,7 @@
 
 #include "ir/store.hpp"
 #include "runtime/message.hpp"
+#include "support/node_set.hpp"
 
 namespace ccref::runtime {
 
@@ -26,6 +27,26 @@ struct RemoteMachine {
   friend bool operator==(const RemoteMachine&, const RemoteMachine&) = default;
 };
 
+/// An open split bus transaction (topology bus, refined broadcast). The home
+/// admitted a broadcast request, matched it against one of its generalized
+/// input guards, and is now snooping every other remote sequentially; when
+/// `pending` drains it applies the recorded guard and acks the requester.
+/// While a transaction is open the home takes no other local step — that
+/// serialization is what makes the split transaction refine the atomic
+/// broadcast rendezvous.
+struct BusTxn {
+  std::uint8_t src = 0;       // the requester
+  std::uint8_t guard = 0;     // input-guard index in the home's current state
+  ir::MsgId msg = 0;          // the broadcast message
+  std::uint8_t snooping = kNoSnoop;  // remote with an outstanding Snoop
+  NodeSet pending;            // remotes not yet snooped
+  std::vector<ir::Value> payload;    // the request's payload, replayed to all
+
+  static constexpr std::uint8_t kNoSnoop = 0xff;
+
+  friend bool operator==(const BusTxn&, const BusTxn&) = default;
+};
+
 struct HomeMachine {
   bool transient = false;
   ir::StateId state = 0;        // current state; origin when transient
@@ -33,6 +54,7 @@ struct HomeMachine {
   std::uint8_t t_target = 0;    // pending target remote (transient)
   ir::Store store;
   std::vector<Msg> buffer;      // k-slot request buffer (§3.2)
+  std::optional<BusTxn> txn;    // open bus transaction (bus protocols only)
 
   friend bool operator==(const HomeMachine&, const HomeMachine&) = default;
 };

@@ -117,7 +117,8 @@ bool AsyncSystem::input_source_matches(const InputGuard& ig,
     case PeerSrc::Kind::Expr:
       return ir::eval(*ig.from.expr, home_store, EvalCtx{kHome}) == src;
     case PeerSrc::Kind::Home:
-      return false;  // only remote guards have Home sources
+    case PeerSrc::Kind::Bcast:
+      return false;  // only remote guards have Home/Bcast sources
   }
   return false;
 }
@@ -267,6 +268,40 @@ void AsyncSystem::deliver_to_home(const AsyncState& s, int i, LabelMode mode,
       out.emplace_back(std::move(next), std::move(l));
       return;
     }
+    case Meta::Snoop:
+      CCREF_ASSERT_MSG(false, "SNOOP delivered to the home");
+      return;
+    case Meta::SnoopAck: {
+      CCREF_ASSERT_MSG(hm.txn && hm.txn->snooping == i,
+                       "stray SNOOPACK at the home");
+      AsyncState next = s;
+      next.up[i].pop();
+      auto& txn = *next.home.txn;
+      txn.snooping = BusTxn::kNoSnoop;
+      txn.pending.remove(static_cast<NodeId>(i));
+      bool purged = false;
+      if (m.msg == 1) {
+        // Answering the snoop cancelled r(i)'s own in-flight request. FIFO
+        // order means that request reached the home before this SnoopAck:
+        // purge it from the buffer if it was admitted (if it was nacked
+        // instead, r(i) drops the stale nack on arrival).
+        for (std::size_t b = 0; b < next.home.buffer.size(); ++b) {
+          if (next.home.buffer[b].meta != Meta::Req ||
+              next.home.buffer[b].src != i)
+            continue;
+          next.home.buffer.erase(next.home.buffer.begin() + b);
+          purged = true;
+          break;
+        }
+      }
+      Label l;
+      if (mode == LabelMode::Full)
+        l.text = strf("h bus: snoop-ack from r%d%s%s", i,
+                    m.msg == 1 ? " (cancelled own request)" : "",
+                    purged ? ", purged it" : "");
+      out.emplace_back(std::move(next), std::move(l));
+      return;
+    }
     case Meta::Req: {
       if (hm.transient && hm.t_target == i) {
         // Row T3 (rule R3): treat as an implicit nack plus a request. The
@@ -336,6 +371,25 @@ void AsyncSystem::deliver_to_remote(const AsyncState& s, int i, LabelMode mode,
   const ir::Process& remote = protocol().remote;
   const RemoteMachine& rm = s.remotes[i];
 
+  if (m.meta == Meta::Snoop) {
+    // A snoop parks in the one-slot buffer (kept one edge for the POR
+    // footprint) and is answered with priority in remote_local — even by a
+    // transient remote, which is what lets a cache waiting to win the bus
+    // observe the transaction that just beat it. The home never snoops a
+    // remote with an unresolved point-to-point request, so the slot is free.
+    CCREF_ASSERT_MSG(!rm.buffer.has_value(),
+                     "snoop arrived while a request was buffered");
+    AsyncState next = s;
+    next.down[i].pop();
+    next.remotes[i].buffer = m;
+    Label l;
+    if (mode == LabelMode::Full)
+      l.text = strf("r%d buffer: snoop %s(r%d)", i,
+                  protocol().message(m.msg).name.c_str(), m.src);
+    out.emplace_back(std::move(next), std::move(l));
+    return;
+  }
+
   if (rm.transient) {
     const ir::State& a = remote.state(rm.state);
     const OutputGuard& og = a.outputs[0];
@@ -402,7 +456,24 @@ void AsyncSystem::deliver_to_remote(const AsyncState& s, int i, LabelMode mode,
         out.emplace_back(std::move(next), std::move(l));
         return;
       }
+      case Meta::Snoop:
+      case Meta::SnoopAck:
+        CCREF_ASSERT_MSG(false, "unreachable meta at a transient remote");
+        return;
     }
+    return;
+  }
+
+  if (m.meta == Meta::Nack &&
+      protocol().topology == ir::Topology::Bus) {
+    // Stale nack: the remote's request was rejected after the remote had
+    // already cancelled it by answering a snoop. Drop it.
+    AsyncState next = s;
+    next.down[i].pop();
+    Label l;
+    if (mode == LabelMode::Full)
+      l.text = strf("r%d: drop stale nack", i);
+    out.emplace_back(std::move(next), std::move(l));
     return;
   }
 
@@ -430,6 +501,61 @@ void AsyncSystem::home_local(const AsyncState& s, LabelMode mode,
   const ir::State& st = home.state(hm.state);
   const EvalCtx hctx{kHome};
 
+  if (hm.txn) {
+    // An open bus transaction serializes the home: no taus, no other C1/C2
+    // until it commits. Snoop the pending remotes one at a time, then apply
+    // the recorded guard and ack the requester.
+    const BusTxn& txn = *hm.txn;
+    if (txn.snooping != BusTxn::kNoSnoop) return;  // awaiting a SnoopAck
+    if (!txn.pending.empty()) {
+      const NodeId j = txn.pending.first();
+      if (s.down[j].size() >= static_cast<std::size_t>(cap_)) return;
+      AsyncState next = s;
+      Msg sn;
+      sn.meta = Meta::Snoop;
+      sn.msg = txn.msg;
+      sn.src = txn.src;  // snoop guards bind the original requester
+      sn.payload = txn.payload;
+      next.down[j].push(std::move(sn));
+      next.home.txn->snooping = j;
+      Label l;
+      if (mode == LabelMode::Full)
+        l.text = strf("h bus: snoop %s(r%d) -> r%d",
+                    protocol().message(txn.msg).name.c_str(), txn.src, j);
+      l.actor = kHome;
+      out.emplace_back(std::move(next), std::move(l));
+      return;
+    }
+    // Every other remote has answered: commit. The home store is untouched
+    // since the open (the transaction blocks every store-writing home step),
+    // so the guard condition checked at open still holds.
+    if (s.down[txn.src].size() >= static_cast<std::size_t>(cap_)) return;
+    const ir::InputGuard& ig = st.inputs[txn.guard];
+    AsyncState next = s;
+    Msg taken;
+    taken.meta = Meta::Req;
+    taken.msg = txn.msg;
+    taken.src = txn.src;
+    taken.payload = txn.payload;
+    Msg ack;
+    ack.meta = Meta::Ack;
+    ack.src = Msg::kHomeSrc;
+    next.down[txn.src].push(std::move(ack));
+    next.home.txn.reset();
+    apply_input(home, next.home.store, next.home.state, ig, taken, kHome);
+    Label l;
+    if (mode == LabelMode::Full)
+      l.text = strf("h bus: commit %s from r%d",
+                  protocol().message(taken.msg).name.c_str(), taken.src);
+    l.sent_ack = 1;
+    l.completes_rendezvous = true;
+    l.granted_to = taken.src;
+    l.actor = kHome;
+    l.decision = protocol().message(taken.msg).name;
+    out.emplace_back(std::move(next), std::move(l));
+    return;
+  }
+
   // τ moves (internal states, and autonomous decisions in comm states such
   // as the invalidate protocol's "copyset swept").
   for (const auto& g : st.taus) {
@@ -451,12 +577,35 @@ void AsyncSystem::home_local(const AsyncState& s, LabelMode mode,
   bool any_c1 = false;
   for (std::size_t b = 0; b < hm.buffer.size(); ++b) {
     const Msg& m = hm.buffer[b];
-    for (const auto& ig : st.inputs) {
+    for (std::size_t gi = 0; gi < st.inputs.size(); ++gi) {
+      const InputGuard& ig = st.inputs[gi];
       if (ig.msg != m.msg) continue;
       if (!input_source_matches(ig, hm.store, m.src)) continue;
       if (ig.cond && !ir::eval(*ig.cond, hm.store, hctx)) continue;
       any_c1 = true;
       MsgClass cls = refined_->cls(m.msg);
+      if (cls == MsgClass::Broadcast) {
+        // Open a split bus transaction instead of completing on the spot:
+        // the guard is recorded and applied only after every other remote
+        // has been snooped.
+        AsyncState next = s;
+        BusTxn txn;
+        txn.src = m.src;
+        txn.guard = static_cast<std::uint8_t>(gi);
+        txn.msg = m.msg;
+        txn.pending = NodeSet::all(n_);
+        txn.pending.remove(m.src);
+        txn.payload = m.payload;
+        next.home.buffer.erase(next.home.buffer.begin() + b);
+        next.home.txn = std::move(txn);
+        Label l;
+        l.actor = kHome;
+        if (mode == LabelMode::Full)
+          l.text = strf("h bus: open %s from r%d",
+                      protocol().message(m.msg).name.c_str(), m.src);
+        out.emplace_back(std::move(next), std::move(l));
+        continue;
+      }
       if (cls == MsgClass::Normal &&
           s.down[m.src].size() >= static_cast<std::size_t>(cap_))
         continue;  // no room for the ack right now
@@ -590,9 +739,52 @@ void AsyncSystem::remote_local(const AsyncState& s, int i, LabelMode mode,
                                Out& out) const {
   const ir::Process& remote = protocol().remote;
   const RemoteMachine& rm = s.remotes[i];
+  const EvalCtx rctx{i};
+
+  if (rm.buffer && rm.buffer->meta == Meta::Snoop) {
+    // A parked snoop is answered before anything else — even by a transient
+    // remote (its active state's `bcast?` guards are exactly the snoops it
+    // may consume while waiting for the bus). First enabled guard wins,
+    // mirroring sem::fire_bcast; no guard means the snoop is ignored.
+    if (s.up[i].size() >= static_cast<std::size_t>(cap_)) return;
+    const Msg m = *rm.buffer;
+    const ir::State& cur = remote.state(rm.state);
+    const InputGuard* hit = nullptr;
+    if (cur.kind == StateKind::Comm) {
+      for (const auto& ig : cur.inputs) {
+        if (ig.msg != m.msg || ig.from.kind != PeerSrc::Kind::Bcast) continue;
+        if (ig.cond && !ir::eval(*ig.cond, rm.store, rctx)) continue;
+        hit = &ig;
+        break;
+      }
+    }
+    AsyncState next = s;
+    auto& nrm = next.remotes[i];
+    nrm.buffer.reset();
+    const bool cancelled = hit && rm.transient;
+    if (hit) {
+      apply_input(remote, nrm.store, nrm.state, *hit, m, i);
+      nrm.transient = false;
+    }
+    Msg ack;
+    ack.meta = Meta::SnoopAck;
+    ack.msg = cancelled ? 1 : 0;  // flag: own in-flight request cancelled
+    ack.src = static_cast<std::uint8_t>(i);
+    next.up[i].push(std::move(ack));
+    Label l;
+    l.actor = i;
+    if (mode == LabelMode::Full)
+      l.text = strf("r%d: snoop %s(r%d) %s", i,
+                  protocol().message(m.msg).name.c_str(), m.src,
+                  cancelled  ? "applied, cancelling own request"
+                  : hit      ? "applied"
+                             : "ignored");
+    out.emplace_back(std::move(next), std::move(l));
+    return;
+  }
+
   if (rm.transient) return;
   const ir::State& st = remote.state(rm.state);
-  const EvalCtx rctx{i};
 
   // τ moves; the one-slot buffer rides along.
   for (const auto& g : st.taus) {
@@ -665,6 +857,9 @@ void AsyncSystem::remote_local(const AsyncState& s, int i, LabelMode mode,
   bool matched = false;
   for (const auto& ig : st.inputs) {
     if (ig.msg != m.msg) continue;
+    // Stable bus states mix `h?` inputs with `bcast?` snoop guards; a
+    // buffered point-to-point request only answers through the former.
+    if (ig.from.kind != PeerSrc::Kind::Home) continue;
     if (ig.cond && !ir::eval(*ig.cond, rm.store, rctx)) continue;
     matched = true;
     if (s.up[i].size() >= static_cast<std::size_t>(cap_)) continue;
@@ -739,6 +934,17 @@ void AsyncSystem::encode(const AsyncState& s, ByteSink& sink) const {
   s.home.store.encode(sink);
   sink.u8(static_cast<std::uint8_t>(s.home.buffer.size()));
   for (const Msg& m : s.home.buffer) m.encode(sink);
+  sink.u8(s.home.txn.has_value() ? 1 : 0);
+  if (s.home.txn) {
+    const BusTxn& t = *s.home.txn;
+    sink.u8(t.src);
+    sink.u8(t.guard);
+    sink.u8(t.msg);
+    sink.u8(t.snooping);
+    sink.varint(t.pending.bits());
+    sink.u8(static_cast<std::uint8_t>(t.payload.size()));
+    for (ir::Value v : t.payload) sink.varint(v);
+  }
   sink.boundary(kCompHome);
   for (const auto& r : s.remotes) {
     sink.u8(r.transient ? 1 : 0);
@@ -769,6 +975,17 @@ AsyncState AsyncSystem::decode(ByteSource& src) const {
   s.home.store.decode(src);
   s.home.buffer.resize(src.u8());
   for (Msg& m : s.home.buffer) m = Msg::decode(src);
+  if (src.u8()) {
+    BusTxn t;
+    t.src = src.u8();
+    t.guard = src.u8();
+    t.msg = src.u8();
+    t.snooping = src.u8();
+    t.pending = NodeSet(src.varint());
+    t.payload.resize(src.u8());
+    for (ir::Value& v : t.payload) v = src.varint();
+    s.home.txn = std::move(t);
+  }
   s.remotes.resize(n_);
   for (auto& r : s.remotes) {
     r.transient = src.u8() != 0;
@@ -788,8 +1005,10 @@ std::string AsyncSystem::describe(const AsyncState& s) const {
   const ir::Protocol& p = protocol();
   auto msg_str = [&](const Msg& m) {
     std::string out = to_string(m.meta);
-    if (m.meta == Meta::Req || m.meta == Meta::Repl)
+    if (m.meta == Meta::Req || m.meta == Meta::Repl ||
+        m.meta == Meta::Snoop)
       out += "." + p.message(m.msg).name;
+    if (m.meta == Meta::SnoopAck && m.msg == 1) out += ".cancel";
     out += m.src == Msg::kHomeSrc ? "<h" : strf("<r%d", m.src);
     return out;
   };
@@ -809,6 +1028,13 @@ std::string AsyncSystem::describe(const AsyncState& s) const {
     out += msg_str(s.home.buffer[b]);
   }
   out += "]";
+  if (s.home.txn) {
+    const BusTxn& t = *s.home.txn;
+    out += strf(" txn[%s<r%d pend=%llx", p.message(t.msg).name.c_str(),
+                t.src, static_cast<unsigned long long>(t.pending.bits()));
+    if (t.snooping != BusTxn::kNoSnoop) out += strf(" snooping=r%d", t.snooping);
+    out += "]";
+  }
   for (int i = 0; i < n_; ++i) {
     const auto& r = s.remotes[i];
     out += strf(" r%d=%s%s", i, p.remote.state(r.state).name.c_str(),
@@ -845,7 +1071,9 @@ void AsyncSystem::permute(AsyncState& s, const ir::NodePerm& perm) const {
 
   auto remap_msg = [&](Msg& m) {
     if (m.src != Msg::kHomeSrc && m.src < n_) m.src = perm[m.src];
-    if (m.meta != Meta::Req && m.meta != Meta::Repl) return;
+    if (m.meta != Meta::Req && m.meta != Meta::Repl &&
+        m.meta != Meta::Snoop)
+      return;
     const auto& types = p.message(m.msg).payload;
     for (std::size_t f = 0; f < m.payload.size() && f < types.size(); ++f)
       m.payload[f] = ir::remap_value(types[f], m.payload[f], perm);
@@ -857,6 +1085,17 @@ void AsyncSystem::permute(AsyncState& s, const ir::NodePerm& perm) const {
   // must rename it consistently or two permutations of one state would stop
   // being equal.
   if (s.home.t_target < n_) s.home.t_target = perm[s.home.t_target];
+  if (s.home.txn) {
+    BusTxn& t = *s.home.txn;
+    if (t.src < n_) t.src = perm[t.src];
+    if (t.snooping != BusTxn::kNoSnoop && t.snooping < n_)
+      t.snooping = perm[t.snooping];
+    t.pending = NodeSet(static_cast<std::uint64_t>(ir::remap_value(
+        ir::Type::NodeSet, static_cast<ir::Value>(t.pending.bits()), perm)));
+    const auto& types = p.message(t.msg).payload;
+    for (std::size_t f = 0; f < t.payload.size() && f < types.size(); ++f)
+      t.payload[f] = ir::remap_value(types[f], t.payload[f], perm);
+  }
   for (Msg& m : s.home.buffer) remap_msg(m);
   for (auto& r : s.remotes) {
     ir::remap_store(r.store, p.remote.vars, perm);
@@ -901,7 +1140,9 @@ void AsyncSystem::canonicalize(AsyncState& s) const {
     sink.u8(m.msg);
     // 0xfe tags "sent by this remote": raw src values are node ids < 64.
     sink.u8(m.src == static_cast<std::uint8_t>(self) ? 0xfe : m.src);
-    if (m.meta != Meta::Req && m.meta != Meta::Repl) return;
+    if (m.meta != Meta::Req && m.meta != Meta::Repl &&
+        m.meta != Meta::Snoop)
+      return;
     const auto& types = p.message(m.msg).payload;
     for (std::size_t f = 0; f < m.payload.size(); ++f)
       sig_value(f < types.size() ? types[f] : ir::Type::Int, m.payload[f],
@@ -930,6 +1171,16 @@ void AsyncSystem::canonicalize(AsyncState& s) const {
         sink.u8((val >> i) & 1u);
     }
     sink.u8(s.home.t_target == static_cast<std::uint8_t>(i) ? 1 : 0);
+    if (s.home.txn) {
+      const BusTxn& t = *s.home.txn;
+      sink.u8(t.src == static_cast<std::uint8_t>(i) ? 1 : 0);
+      sink.u8(t.snooping == static_cast<std::uint8_t>(i) ? 1 : 0);
+      sink.u8(t.pending.contains(static_cast<NodeId>(i)) ? 1 : 0);
+      const auto& types = p.message(t.msg).payload;
+      for (std::size_t f = 0; f < t.payload.size(); ++f)
+        sig_value(f < types.size() ? types[f] : ir::Type::Int, t.payload[f],
+                  i);
+    }
     for (const Msg& m : s.home.buffer)
       sink.u8(m.src == static_cast<std::uint8_t>(i) ? 1 : 0);
     sig[i] = std::vector<std::byte>(sink.bytes().begin(), sink.bytes().end());

@@ -15,7 +15,14 @@
 
 namespace ccref::runtime {
 
-enum class Meta : std::uint8_t { Req, Ack, Nack, Repl };
+/// Snoop/SnoopAck implement the split bus transaction (topology bus): the
+/// home forwards an admitted broadcast request to each other remote as a
+/// Snoop (src = the original requester, so snoop guards bind it), and the
+/// remote answers with a SnoopAck. A SnoopAck's `msg` field is reused as a
+/// flag: 1 means answering the snoop cancelled the remote's own in-flight
+/// request (it left its active state through a `bcast?` guard), telling the
+/// home to discard that request wherever it surfaces.
+enum class Meta : std::uint8_t { Req, Ack, Nack, Repl, Snoop, SnoopAck };
 
 [[nodiscard]] constexpr const char* to_string(Meta m) {
   switch (m) {
@@ -23,6 +30,8 @@ enum class Meta : std::uint8_t { Req, Ack, Nack, Repl };
     case Meta::Ack: return "ACK";
     case Meta::Nack: return "NACK";
     case Meta::Repl: return "REPL";
+    case Meta::Snoop: return "SNOOP";
+    case Meta::SnoopAck: return "SNOOPACK";
   }
   return "?";
 }

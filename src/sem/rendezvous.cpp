@@ -108,7 +108,8 @@ void RendezvousSystem::remote_active(
   const EvalCtx hctx{-1};
   for (const auto& og : rs.outputs) {
     if (og.cond && !ir::eval(*og.cond, s.remotes[i].store, rctx)) continue;
-    CCREF_ASSERT(og.to.kind == PeerSel::Kind::Home);
+    CCREF_ASSERT(og.to.kind == PeerSel::Kind::Home ||
+                 og.to.kind == PeerSel::Kind::Bcast);
     for (const auto& ig : hs.inputs) {
       if (ig.msg != og.msg) continue;
       bool src_ok = false;
@@ -120,14 +121,80 @@ void RendezvousSystem::remote_active(
           src_ok = ir::eval(*ig.from.expr, s.home.store, hctx) == i;
           break;
         case PeerSrc::Kind::Home:
+        case PeerSrc::Kind::Bcast:
           src_ok = false;  // impossible after validation
           break;
       }
       if (!src_ok) continue;
       if (ig.cond && !ir::eval(*ig.cond, s.home.store, hctx)) continue;
-      fire(s, og, i, ig, -1, mode, out);
+      if (og.to.kind == PeerSel::Kind::Bcast)
+        fire_bcast(s, og, i, ig, mode, out);
+      else
+        fire(s, og, i, ig, -1, mode, out);
     }
   }
+}
+
+void RendezvousSystem::fire_bcast(
+    const RvState& s, const OutputGuard& og, int i, const InputGuard& hg,
+    LabelMode mode, std::vector<std::pair<RvState, Label>>& out) const {
+  RvState next = s;
+  const EvalCtx actx{i};
+  const EvalCtx hctx{-1};
+
+  // Payload is evaluated in the requester's pre-action store, once; every
+  // participant observes the same values (the bus carries one datum).
+  std::vector<ir::Value> payload;
+  payload.reserve(og.payload.size());
+  for (const auto& e : og.payload)
+    payload.push_back(
+        static_cast<ir::Value>(ir::eval(*e, next.remotes[i].store, actx)));
+
+  auto deliver = [&](const InputGuard& ig, ProcState& p, const EvalCtx& ctx,
+                     const ir::Process& proc, int sender) {
+    if (ig.bind_peer != ir::kNoVar)
+      p.store.set(ig.bind_peer, static_cast<ir::Value>(sender));
+    for (std::size_t f = 0; f < ig.bind_payload.size(); ++f)
+      if (ig.bind_payload[f] != ir::kNoVar)
+        p.store.set(ig.bind_payload[f], payload[f]);
+    if (ig.action) ir::exec(*ig.action, p.store, proc.vars, ctx);
+    p.state = ig.next;
+  };
+
+  // The home mediates: its generalized input participates like a star sync.
+  deliver(hg, next.home, hctx, protocol_->home, i);
+
+  // Every other remote snoops through its first enabled bcast guard; a
+  // remote with none (wrong state, or guard condition false) is unchanged —
+  // a cache in I ignores bus traffic it misses on. Guard conditions are
+  // evaluated against the pre-bind store, matching every other guard kind.
+  for (int j = 0; j < n_; ++j) {
+    if (j == i) continue;
+    const ir::State& js = protocol_->remote.state(s.remotes[j].state);
+    if (js.kind != StateKind::Comm) continue;
+    const EvalCtx jctx{j};
+    for (const auto& ig : js.inputs) {
+      if (ig.msg != og.msg || ig.from.kind != PeerSrc::Kind::Bcast) continue;
+      if (ig.cond && !ir::eval(*ig.cond, s.remotes[j].store, jctx)) continue;
+      deliver(ig, next.remotes[j], jctx, protocol_->remote, i);
+      break;  // first enabled snoop guard wins (deterministic per snooper)
+    }
+  }
+
+  // Requester last: its action may read vars the payload already captured.
+  if (og.action)
+    ir::exec(*og.action, next.remotes[i].store, protocol_->remote.vars, actx);
+  next.remotes[i].state = og.next;
+
+  Label label;
+  if (mode == LabelMode::Full)
+    label.text = strf("r%d!%s -> *", i,
+                      protocol_->message(og.msg).name.c_str());
+  label.completes_rendezvous = true;
+  label.actor = i;
+  label.granted_to = i;
+  label.decision = protocol_->message(og.msg).name;
+  out.emplace_back(std::move(next), std::move(label));
 }
 
 void RendezvousSystem::fire(const RvState& s, const OutputGuard& og,

@@ -1,0 +1,275 @@
+#include "sim/bus.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <random>
+#include <set>
+
+#include "support/contracts.hpp"
+#include "support/strings.hpp"
+
+namespace ccref::sim {
+
+using ir::StateId;
+using sem::Label;
+using sem::LabelMode;
+using sem::RendezvousSystem;
+using sem::RvState;
+
+BusWorkload make_bus_workload(int num_remotes, int ops_per_node,
+                              double write_fraction, double evict_fraction,
+                              std::uint64_t think_mean, std::uint64_t seed) {
+  CCREF_REQUIRE(num_remotes >= 1 && ops_per_node >= 0);
+  BusWorkload w;
+  w.per_remote.resize(num_remotes);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  auto think = [&] { return 1 + rng() % (2 * std::max<std::uint64_t>(
+                                                 think_mean, 1)); };
+  for (int i = 0; i < num_remotes; ++i) {
+    for (int k = 0; k < ops_per_node; ++k) {
+      const bool wr = coin(rng) < write_fraction;
+      w.per_remote[i].push_back({wr ? "write" : "read", think()});
+      if (coin(rng) < evict_fraction)
+        w.per_remote[i].push_back({"evict", think()});
+    }
+  }
+  return w;
+}
+
+double BusStats::avg_latency() const {
+  std::uint64_t lat = 0, ops = 0;
+  for (const auto& r : remotes) {
+    lat += r.latency_total;
+    ops += r.ops_completed - r.hits;
+  }
+  return ops ? static_cast<double>(lat) / static_cast<double>(ops) : 0.0;
+}
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+/// Per-remote CPU progress through its op stream.
+struct Cpu {
+  enum class Phase : std::uint8_t {
+    Thinking,  // next op activates at `ready_at`
+    Eligible,  // op active; its tau is gated ON, waiting for the scheduler
+    Issued,    // tau fired; waiting to return to a stable state
+  };
+  Phase phase = Phase::Thinking;
+  std::size_t next_op = 0;
+  std::uint64_t ready_at = 0;
+  std::uint64_t activated_at = 0;
+
+  [[nodiscard]] bool done(const std::vector<BusOp>& ops) const {
+    return next_op >= ops.size();
+  }
+};
+
+}  // namespace
+
+BusStats bus_simulate(const ir::Protocol& protocol, int num_remotes,
+                      const BusWorkload& workload, const BusOptions& options) {
+  CCREF_REQUIRE_MSG(protocol.topology == ir::Topology::Bus,
+                    "bus_simulate drives snooping (topology bus) protocols");
+  CCREF_REQUIRE(static_cast<int>(workload.per_remote.size()) == num_remotes);
+  const RendezvousSystem sys(protocol, num_remotes);
+  const BusCostModel& cost = options.cost;
+
+  // --- static protocol knowledge -----------------------------------------
+  // Stable states are the ones offering CPU taus; everything else is a
+  // transient the protocol drives on its own.
+  const ir::Process& remote = protocol.remote;
+  auto stable = [&](StateId sid) { return !remote.state(sid).taus.empty(); };
+  auto offers = [&](StateId sid, const std::string& decision) {
+    for (const auto& g : remote.state(sid).taus)
+      if (g.label == decision) return true;
+    return false;
+  };
+  std::set<std::string> vocabulary;
+  for (const auto& st : remote.states)
+    for (const auto& g : st.taus)
+      if (!g.label.empty()) vocabulary.insert(g.label);
+  std::set<std::string> bcast_msgs;
+  for (const auto& st : remote.states)
+    for (const auto& og : st.outputs)
+      if (og.to.kind == ir::PeerSel::Kind::Bcast)
+        bcast_msgs.insert(protocol.message(og.msg).name);
+  // Data-source classification: supplier copies, and whether dirty data may
+  // stay shared (an owned state exists) or must reflect to memory.
+  std::set<StateId> suppliers, dirty;
+  bool has_owned = false;
+  for (const char* name : {"M", "O", "E", "F", "Sm"}) {
+    const StateId sid = remote.find_state(name);
+    if (sid == ir::kNoState) continue;
+    suppliers.insert(sid);
+    if (name[0] == 'M' || name[0] == 'O' || name[1] == 'm') dirty.insert(sid);
+    if (std::string_view(name) == "O" || std::string_view(name) == "Sm")
+      has_owned = true;
+  }
+
+  // --- run ---------------------------------------------------------------
+  BusStats stats;
+  stats.remotes.resize(num_remotes);
+  stats.ops_total = workload.total_ops();
+  RvState s = sys.initial();
+  std::vector<Cpu> cpu(num_remotes);
+  std::mt19937_64 rng(options.seed);
+
+  auto complete_op = [&](int i, bool hit) {
+    const std::vector<BusOp>& ops = workload.per_remote[i];
+    Cpu& c = cpu[i];
+    BusRemoteStats& r = stats.remotes[i];
+    ++r.ops_completed;
+    if (hit) {
+      ++r.hits;
+      ++stats.hits;
+    } else {
+      const std::uint64_t lat = stats.cycles - c.activated_at;
+      r.latency_total += lat;
+      r.latency_max = std::max(r.latency_max, lat);
+    }
+    ++c.next_op;
+    c.phase = Cpu::Phase::Thinking;
+    c.ready_at = c.done(ops) ? kNever : stats.cycles + ops[c.next_op].think;
+  };
+
+  // Activate remote i's current op: ops whose tau the current stable state
+  // does not offer are hits (read in S/E/M, write in M, evict in I) and
+  // complete instantly; the first op that needs the protocol goes Eligible.
+  auto activate = [&](int i) {
+    const std::vector<BusOp>& ops = workload.per_remote[i];
+    Cpu& c = cpu[i];
+    while (!c.done(ops) && stats.cycles >= c.ready_at) {
+      c.activated_at = stats.cycles;
+      if (offers(s.remotes[i].state, ops[c.next_op].decision)) {
+        c.phase = Cpu::Phase::Eligible;
+        return;
+      }
+      complete_op(i, /*hit=*/true);
+    }
+  };
+
+  for (int i = 0; i < num_remotes; ++i) {
+    const auto& ops = workload.per_remote[i];
+    cpu[i].ready_at = ops.empty() ? kNever : ops[0].think;
+  }
+
+  while (stats.steps < options.max_steps) {
+    for (int i = 0; i < num_remotes; ++i)
+      if (cpu[i].phase == Cpu::Phase::Thinking &&
+          !cpu[i].done(workload.per_remote[i]) &&
+          stats.cycles >= cpu[i].ready_at)
+        activate(i);
+
+    bool all_done = true;
+    for (int i = 0; i < num_remotes; ++i)
+      all_done = all_done && cpu[i].done(workload.per_remote[i]);
+    if (all_done) {
+      stats.finished = true;
+      return stats;
+    }
+
+    // Enumerate, then gate: CPU decisions need an Eligible op asking for
+    // exactly that label; every other step is obligatory protocol work.
+    auto succs = sys.successors(s, LabelMode::Quiet);
+    std::vector<std::size_t> eligible;
+    for (std::size_t k = 0; k < succs.size(); ++k) {
+      const Label& l = succs[k].second;
+      if (!l.completes_rendezvous && l.actor >= 0 &&
+          vocabulary.count(l.decision)) {
+        const Cpu& c = cpu[l.actor];
+        if (c.phase != Cpu::Phase::Eligible ||
+            workload.per_remote[l.actor][c.next_op].decision != l.decision)
+          continue;
+      }
+      eligible.push_back(k);
+    }
+
+    if (eligible.empty()) {
+      // Nothing runnable now: advance the clock to the next activation.
+      std::uint64_t next = kNever;
+      for (int i = 0; i < num_remotes; ++i)
+        if (cpu[i].phase == Cpu::Phase::Thinking &&
+            !cpu[i].done(workload.per_remote[i]))
+          next = std::min(next, cpu[i].ready_at);
+      if (next == kNever) {
+        stats.stall = strf("wedged at cycle %llu with no eligible step",
+                           static_cast<unsigned long long>(stats.cycles));
+        return stats;
+      }
+      stats.cycles = std::max(stats.cycles, next);
+      continue;
+    }
+
+    const std::size_t pick =
+        eligible[rng() % static_cast<std::uint64_t>(eligible.size())];
+    const Label& l = succs[pick].second;
+
+    // Charge the cost model against the PRE-state (the supplier is whoever
+    // held the block when the transaction won arbitration).
+    if (l.completes_rendezvous) {
+      if (bcast_msgs.count(l.decision)) {
+        ++stats.bus_transactions;
+        stats.cycles += cost.arbitration;
+        if (l.decision.find("WB") != std::string::npos) {
+          ++stats.mem_writebacks;
+          stats.cycles += cost.memory;
+        } else if (l.decision.find("Upd") != std::string::npos) {
+          ++stats.bus_updates;
+          stats.cycles += cost.word;
+        } else {
+          int supplier = -1;
+          for (int j = 0; j < num_remotes; ++j)
+            if (j != l.actor && suppliers.count(s.remotes[j].state))
+              supplier = j;
+          if (supplier >= 0) {
+            ++stats.c2c_transfers;
+            stats.cycles += cost.c2c(num_remotes);
+            // Without an owned state (MESI/MESIF) a dirty supplier must
+            // reflect the block to memory on the same transaction.
+            if (dirty.count(s.remotes[supplier].state) && !has_owned) {
+              ++stats.mem_writebacks;
+              stats.cycles += cost.memory;
+            }
+          } else {
+            ++stats.mem_fills;
+            stats.cycles += cost.memory;
+          }
+        }
+      } else {
+        ++stats.grants;
+        stats.cycles += cost.grant;
+      }
+    }
+
+    // Eligible -> Issued when the chosen step was this remote's CPU tau.
+    if (!l.completes_rendezvous && l.actor >= 0 &&
+        cpu[l.actor].phase == Cpu::Phase::Eligible &&
+        vocabulary.count(l.decision))
+      cpu[l.actor].phase = Cpu::Phase::Issued;
+
+    s = std::move(succs[pick].first);
+    ++stats.steps;
+
+    for (int i = 0; i < num_remotes; ++i) {
+      if (!stable(s.remotes[i].state)) continue;
+      if (cpu[i].phase == Cpu::Phase::Issued) {
+        complete_op(i, /*hit=*/false);
+      } else if (cpu[i].phase == Cpu::Phase::Eligible &&
+                 !offers(s.remotes[i].state,
+                         workload.per_remote[i][cpu[i].next_op].decision)) {
+        // A snoop changed the state out from under the waiting op (e.g. a
+        // pending evict was invalidated away): it is satisfied for free.
+        complete_op(i, /*hit=*/true);
+      }
+    }
+  }
+
+  stats.stall = strf("step budget (%llu) exhausted",
+                     static_cast<unsigned long long>(options.max_steps));
+  return stats;
+}
+
+}  // namespace ccref::sim

@@ -1,0 +1,117 @@
+// Timed snooping-bus simulator for the MESI/MOESI/MESIF/Dragon family.
+//
+// Drives sem::RendezvousSystem — the abstract level, where one broadcast is
+// one atomic step — so a simulated bus transaction is indivisible exactly
+// like the real bus's address phase. A seeded scheduler picks uniformly among
+// enabled transitions; a remote's CPU decisions (`read`/`write`/`evict` taus)
+// are gated by its synthetic op stream, everything else (broadcast sends from
+// active states, home grants, snoop answers) is obligatory protocol work.
+// Because the driver IS the model-checked semantics, simulated behaviour and
+// verified behaviour agree by construction.
+//
+// The cost model follows the classic snooping evaluation split: every
+// broadcast pays bus arbitration; a fill is served cache-to-cache when some
+// other cache holds a supplier copy (M/O/E/F/Sm), else by memory; a dirty
+// supplier without an owned state (no O/Sm — i.e. MESI/MESIF) also reflects
+// the block to memory on the transfer, which is precisely the memory-traffic
+// gap MOESI and Dragon exist to close. BusWB is a memory write-back; Dragon's
+// BusUpd moves one word. Point-to-point home grants are control messages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/process.hpp"
+#include "sem/rendezvous.hpp"
+
+namespace ccref::sim {
+
+struct BusCostModel {
+  std::uint64_t arbitration = 2;   // address phase, every bus transaction
+  std::uint64_t memory = 100;      // memory supplies or absorbs a block
+  std::uint64_t block_words = 4;   // N in the 4N + (P+1) c2c formula
+  std::uint64_t word = 2;          // Dragon BusUpd: one word on the bus
+  std::uint64_t grant = 4;         // point-to-point control message
+
+  /// Cache-to-cache block transfer with `p` processors arbitrating.
+  [[nodiscard]] std::uint64_t c2c(int p) const {
+    return 4 * block_words + static_cast<std::uint64_t>(p) + 1;
+  }
+};
+
+/// One CPU operation: the decision label its tau carries ("read", "write",
+/// "evict") plus think time before it activates. An op whose tau is not
+/// offered by the current stable state is a cache hit (read in S/E/M, write
+/// in M, evict in I) and completes instantly for free.
+struct BusOp {
+  std::string decision;
+  std::uint64_t think = 0;
+};
+
+struct BusWorkload {
+  std::vector<std::vector<BusOp>> per_remote;
+
+  [[nodiscard]] std::size_t total_ops() const {
+    std::size_t n = 0;
+    for (const auto& q : per_remote) n += q.size();
+    return n;
+  }
+};
+
+/// Seeded synthetic mix: `ops_per_node` read/write ops per remote (write
+/// with probability `write_fraction`), each followed by an evict with
+/// probability `evict_fraction`; think times uniform in [1, 2*think_mean].
+[[nodiscard]] BusWorkload make_bus_workload(int num_remotes, int ops_per_node,
+                                            double write_fraction,
+                                            double evict_fraction,
+                                            std::uint64_t think_mean,
+                                            std::uint64_t seed);
+
+struct BusOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t max_steps = 2'000'000;
+  BusCostModel cost;
+};
+
+struct BusRemoteStats {
+  std::uint64_t ops_completed = 0;
+  std::uint64_t hits = 0;           // ops satisfied without a tau (free)
+  std::uint64_t latency_total = 0;  // cycles, activation to completion
+  std::uint64_t latency_max = 0;
+};
+
+struct BusStats {
+  std::uint64_t steps = 0;
+  std::uint64_t cycles = 0;
+
+  // The paper-style message-economy counters.
+  std::uint64_t bus_transactions = 0;  // broadcasts that won arbitration
+  std::uint64_t mem_writebacks = 0;    // blocks absorbed by memory
+  std::uint64_t c2c_transfers = 0;     // blocks supplied cache-to-cache
+  std::uint64_t mem_fills = 0;         // blocks supplied by memory
+  std::uint64_t bus_updates = 0;       // Dragon word updates
+  std::uint64_t grants = 0;            // point-to-point control messages
+
+  std::uint64_t ops_total = 0;
+  std::uint64_t hits = 0;
+  std::vector<BusRemoteStats> remotes;
+  bool finished = false;
+  std::string stall;  // non-empty when the run wedged before finishing
+
+  [[nodiscard]] double per_op(std::uint64_t x) const {
+    const std::uint64_t misses = ops_total - hits;
+    return misses ? static_cast<double>(x) / static_cast<double>(misses) : 0.0;
+  }
+  [[nodiscard]] std::uint64_t mem_traffic() const {
+    return mem_writebacks + mem_fills;
+  }
+  [[nodiscard]] double avg_latency() const;
+};
+
+[[nodiscard]] BusStats bus_simulate(const ir::Protocol& protocol,
+                                    int num_remotes,
+                                    const BusWorkload& workload,
+                                    const BusOptions& options = {});
+
+}  // namespace ccref::sim

@@ -21,6 +21,9 @@ const char* const kKnownOps[] = {"r", "w", "acq", "rel", "evict"};
 /// Parse one unsigned field (decimal, or 0x-hex for addresses).
 [[nodiscard]] bool parse_u64(const std::string& tok, std::uint64_t& out) {
   if (tok.empty()) return false;
+  // strtoull accepts a sign and silently wraps: "-1" parses as
+  // 0xFFFFFFFFFFFFFFFF. Trace fields are unsigned; reject signed spellings.
+  if (tok[0] == '-' || tok[0] == '+') return false;
   errno = 0;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(tok.c_str(), &end, 0);

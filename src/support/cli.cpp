@@ -1,6 +1,7 @@
 #include "support/cli.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -125,8 +126,15 @@ double Cli::double_flag(std::string_view name, double def,
   std::string v = str_flag(name, strf("%g", def), help);
   char* end = nullptr;
   double parsed = std::strtod(v.c_str(), &end);
-  if (!end || *end != '\0' || v.empty()) {
-    std::fprintf(stderr, "%s: bad value for --%.*s: '%s' (expected number)\n",
+  // strtod also accepts "nan", "inf" and hex floats ("0x1p4"); a NaN here
+  // makes every downstream comparison false, so gates like --assert-speedup
+  // would pass vacuously. Require a plain finite decimal number.
+  const bool hex = v.find('x') != std::string::npos ||
+                   v.find('X') != std::string::npos;
+  if (!end || *end != '\0' || v.empty() || hex || !std::isfinite(parsed)) {
+    std::fprintf(stderr,
+                 "%s: bad value for --%.*s: '%s' (expected finite decimal "
+                 "number)\n",
                  program_.c_str(), static_cast<int>(name.size()), name.data(),
                  v.c_str());
     std::exit(2);

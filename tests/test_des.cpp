@@ -199,6 +199,24 @@ TEST(Trace, RejectsBadInputWithLineNumbers) {
   EXPECT_NE(err.find("line 2"), std::string::npos) << err;
 }
 
+TEST(Trace, RejectsSignedFields) {
+  // strtoull silently wraps a leading '-' ("-1" becomes 2^64-1), which used
+  // to turn a typo'd node id into a 4-billion-node trace. All three numeric
+  // fields must reject signed spellings, with the line number in the error.
+  Trace t;
+  std::string err;
+  EXPECT_FALSE(parse_trace("-1 r 0x10 0\n", t, err));
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+  EXPECT_NE(err.find("bad node id '-1'"), std::string::npos) << err;
+  EXPECT_FALSE(parse_trace("0 r 0x10 0\n0 r -16 0\n", t, err));
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("bad address '-16'"), std::string::npos) << err;
+  EXPECT_FALSE(parse_trace("0 r 0x10 -2\n", t, err));
+  EXPECT_NE(err.find("bad think time '-2'"), std::string::npos) << err;
+  EXPECT_FALSE(parse_trace("+1 r 0x10 0\n", t, err));  // '+' wraps too
+  EXPECT_NE(err.find("bad node id '+1'"), std::string::npos) << err;
+}
+
 TEST(Trace, LoadMissingFileFails) {
   Trace t;
   std::string err;

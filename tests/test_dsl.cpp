@@ -375,6 +375,116 @@ remote r { state S { h!m -> S } }
   EXPECT_TRUE(r.ok()) << r.error_text();
 }
 
+// ---- topology + broadcast -----------------------------------------------------
+
+// A minimal but complete bus protocol: one broadcast with a generalized home
+// input, one snoop guard, one point-to-point grant.
+constexpr const char* kMiniBus = R"(
+protocol minibus;
+topology bus;
+message Up;
+message Gr;
+home h {
+  var j: node;
+  state H initial { r(any j)?Up -> G }
+  state G { r(j)!Gr { j := none } -> H }
+}
+remote r {
+  state I initial { tau go -> A }
+  state A { bcast!Up -> W }
+  state W { h?Gr -> S }
+  state S { bcast?Up -> I }
+}
+)";
+
+TEST(Parser, TopologyBusParses) {
+  auto r = parse(kMiniBus);
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  const ir::Protocol& p = *r.protocol;
+  EXPECT_EQ(p.topology, ir::Topology::Bus);
+  const ir::State& a = p.remote.state(p.remote.find_state("A"));
+  ASSERT_EQ(a.outputs.size(), 1u);
+  EXPECT_EQ(a.outputs[0].to.kind, ir::PeerSel::Kind::Bcast);
+  const ir::State& s = p.remote.state(p.remote.find_state("S"));
+  ASSERT_EQ(s.inputs.size(), 1u);
+  EXPECT_EQ(s.inputs[0].from.kind, ir::PeerSrc::Kind::Bcast);
+  auto diags = ir::validate(p);
+  EXPECT_FALSE(ir::has_errors(diags)) << ir::to_string(diags);
+}
+
+TEST(Parser, BcastRequiresBusTopologyWithPosition) {
+  // Same protocol minus the topology declaration: the first 'bcast' must be
+  // rejected at its own line:column, naming the missing declaration.
+  std::string text = kMiniBus;
+  text.erase(text.find("topology bus;\n"), 14);
+  auto r = parse(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_text().find("requires 'topology bus;'"),
+            std::string::npos)
+      << r.error_text();
+  EXPECT_NE(r.error_text().find("12:13"), std::string::npos)
+      << r.error_text();  // line 12, the 'bcast!Up' guard
+}
+
+TEST(Parser, HomeCannotUseBcast) {
+  auto r = parse(R"(
+protocol p;
+topology bus;
+message m;
+home h {
+  var j: node;
+  state A initial { bcast!m -> A }
+}
+remote r { state S { h?m -> S } }
+)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_text().find("the home cannot use 'bcast'"),
+            std::string::npos)
+      << r.error_text();
+}
+
+TEST(Parser, RequesterBinderOnlyOnSnoopGuards) {
+  auto r = parse(R"(
+protocol p;
+topology bus;
+message Up;
+home h {
+  var j: node;
+  state H initial { r(any j)?Up -> H }
+}
+remote r {
+  var v: node;
+  state A initial { bcast(v)!Up -> A }
+}
+)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_text().find("only valid on 'bcast(v)?'"),
+            std::string::npos)
+      << r.error_text();
+}
+
+TEST(Parser, TopologyNeedsBusOrStar) {
+  auto r = parse("protocol p;\ntopology ring;\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_text().find("expected 'bus' or 'star'"),
+            std::string::npos)
+      << r.error_text();
+}
+
+TEST(Parser, BusProtocolRoundTrips) {
+  auto first = parse(kMiniBus);
+  ASSERT_TRUE(first.ok()) << first.error_text();
+  std::string printed = ir::to_string(*first.protocol);
+  auto second = parse(printed);
+  ASSERT_TRUE(second.ok()) << second.error_text() << "\n--- printed ---\n"
+                           << printed;
+  auto a = verify::explore(sem::RendezvousSystem(*first.protocol, 3));
+  auto b = verify::explore(sem::RendezvousSystem(*second.protocol, 3));
+  EXPECT_EQ(a.status, verify::Status::Ok);
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.transitions, b.transitions);
+}
+
 // ---- round-trip ---------------------------------------------------------------
 
 class RoundTrip : public testing::TestWithParam<const char*> {};

@@ -275,6 +275,95 @@ TEST(Validate, RemoteCannotAddressOtherRemotes) {
   EXPECT_NE(to_string(diags).find("star topology"), std::string::npos);
 }
 
+TEST(Validate, BcastSendRequiresBusTopology) {
+  ProtocolBuilder b("bad");
+  MsgId M = b.msg("m");
+  auto& h = b.home();
+  h.var("j", Type::Node);
+  h.comm("H");
+  h.input("H", M).from_any().go("H");
+  auto& r = b.remote();
+  r.comm("S");
+  r.output("S", M).bcast().go("S");  // no `topology bus` declared
+  auto diags = validate(b.build());
+  EXPECT_TRUE(has_errors(diags));
+  EXPECT_NE(to_string(diags).find("'bcast!' requires 'topology bus;'"),
+            std::string::npos)
+      << to_string(diags);
+}
+
+TEST(Validate, SnoopGuardRequiresBusTopology) {
+  ProtocolBuilder b("bad");
+  MsgId M = b.msg("m");
+  auto& h = b.home();
+  h.var("j", Type::Node);
+  h.comm("H");
+  h.input("H", M).from_any().go("H");
+  auto& r = b.remote();
+  r.comm("S");
+  r.input("S", M).from_bcast().go("S");
+  auto diags = validate(b.build());
+  EXPECT_TRUE(has_errors(diags));
+  EXPECT_NE(to_string(diags).find("'bcast?' snoop guard requires "
+                                  "'topology bus;'"),
+            std::string::npos)
+      << to_string(diags);
+}
+
+TEST(Validate, RemoteCannotAddressPeersUnderBus) {
+  ProtocolBuilder b("bad");
+  b.topology(Topology::Bus);
+  MsgId M = b.msg("m");
+  auto& h = b.home();
+  h.var("j", Type::Node);
+  h.comm("H");
+  h.input("H", M).from_any().go("H");
+  auto& r = b.remote();
+  r.comm("S");
+  r.output("S", M).to(lit(1)).go("S");  // a bus has no private peer wires
+  auto diags = validate(b.build());
+  EXPECT_TRUE(has_errors(diags));
+  EXPECT_NE(to_string(diags).find("a bus cannot"), std::string::npos)
+      << to_string(diags);
+}
+
+TEST(Validate, HomeCannotSnoop) {
+  ProtocolBuilder b("bad");
+  b.topology(Topology::Bus);
+  MsgId M = b.msg("m");
+  auto& h = b.home();
+  h.var("j", Type::Node);
+  h.comm("H");
+  h.input("H", M).from_bcast().go("H");  // must be a generalized r(any v)?
+  auto& r = b.remote();
+  r.comm("S");
+  r.output("S", M).bcast().go("S");
+  auto diags = validate(b.build());
+  EXPECT_TRUE(has_errors(diags));
+  EXPECT_NE(to_string(diags).find("not a 'bcast?' snoop guard"),
+            std::string::npos)
+      << to_string(diags);
+}
+
+TEST(Validate, BroadcastNeedsGeneralizedHomeInput) {
+  ProtocolBuilder b("bad");
+  b.topology(Topology::Bus);
+  MsgId M = b.msg("m");
+  MsgId G = b.msg("g");
+  auto& h = b.home();
+  h.var("j", Type::Node);
+  h.comm("H");
+  h.input("H", G).from_any().go("H");  // no home input consumes m at all
+  auto& r = b.remote();
+  r.comm("S");
+  r.output("S", M).bcast().go("S");
+  auto diags = validate(b.build());
+  EXPECT_TRUE(has_errors(diags));
+  EXPECT_NE(to_string(diags).find("no generalized home input"),
+            std::string::npos)
+      << to_string(diags);
+}
+
 TEST(Validate, InternalStateNeedsTau) {
   ProtocolBuilder b("bad");
   MsgId M = b.msg("m");

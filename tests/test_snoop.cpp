@@ -1,0 +1,213 @@
+// The snooping bus family (MESI, MOESI, MESIF, Dragon): the four protocols
+// must parse from the DSL, satisfy the coherence invariant at the rendezvous
+// level with agreeing verdicts and state/transition counts across the whole
+// engine matrix ({seq,par} x {sym off,canonical} x {por off,ample} x
+// {compress off,collapse}), satisfy `G F completion` liveness, and — once
+// refined to the split-transaction bus — still satisfy the invariant with
+// matrix-agreeing verdicts.
+#include <gtest/gtest.h>
+
+#include "ltl/check.hpp"
+#include "protocols/snoop.hpp"
+#include "refine/refined.hpp"
+#include "runtime/async_system.hpp"
+#include "sem/rendezvous.hpp"
+#include "sim/bus.hpp"
+#include "verify/checker.hpp"
+#include "verify/par_checker.hpp"
+
+namespace ccref {
+namespace {
+
+using runtime::AsyncSystem;
+using sem::RendezvousSystem;
+using verify::CompressionMode;
+using verify::PorMode;
+using verify::Status;
+using verify::SymmetryMode;
+
+template <class Sys, class Inv>
+verify::CheckResult check(const Sys& sys, Inv inv, PorMode por,
+                          SymmetryMode symmetry, CompressionMode compress,
+                          unsigned jobs) {
+  verify::CheckOptions<Sys> opts;
+  opts.want_trace = false;
+  opts.por = por;
+  opts.symmetry = symmetry;
+  opts.compress = compress;
+  opts.invariant = std::move(inv);
+  opts.memory_limit = 512u << 20;
+  return jobs <= 1 ? verify::explore(sys, opts)
+                   : verify::par_explore(sys, opts, jobs);
+}
+
+// ---- abstract level: invariant + engine-matrix agreement -------------------
+
+void expect_abstract_matrix(const ir::Protocol& p, int n, const char* what) {
+  RendezvousSystem sys(p, n);
+  auto inv = protocols::snoop_invariant(p, n);
+  auto baseline = check(sys, inv, PorMode::Off, SymmetryMode::Off,
+                        CompressionMode::Off, 1);
+  ASSERT_EQ(baseline.status, Status::Ok) << what << ": " << baseline.violation;
+  EXPECT_GT(baseline.states, 1u) << what;
+  for (unsigned jobs : {1u, 4u}) {
+    for (auto sym : {SymmetryMode::Off, SymmetryMode::Canonical}) {
+      for (auto por : {PorMode::Off, PorMode::Ample}) {
+        for (auto comp : {CompressionMode::Off, CompressionMode::Collapse}) {
+          auto r = check(sys, inv, por, sym, comp, jobs);
+          EXPECT_EQ(r.status, Status::Ok)
+              << what << " jobs=" << jobs << " sym=" << static_cast<int>(sym)
+              << " por=" << static_cast<int>(por)
+              << " comp=" << static_cast<int>(comp) << ": " << r.violation;
+          // Invariant runs force por off, and the rendezvous system exposes
+          // no footprints anyway — every cell explores the same graph, so
+          // the counts must agree exactly (modulo the symmetry quotient).
+          auto same_sym =
+              check(sys, inv, PorMode::Off, sym, CompressionMode::Off, 1);
+          EXPECT_EQ(r.states, same_sym.states)
+              << what << " jobs=" << jobs << " sym=" << static_cast<int>(sym);
+          EXPECT_EQ(r.transitions, same_sym.transitions)
+              << what << " jobs=" << jobs << " sym=" << static_cast<int>(sym);
+        }
+      }
+    }
+  }
+  // The symmetry quotient must genuinely shrink the graph for n >= 2.
+  if (n >= 2) {
+    auto quo = check(sys, inv, PorMode::Off, SymmetryMode::Canonical,
+                     CompressionMode::Off, 1);
+    EXPECT_LT(quo.states, baseline.states) << what;
+  }
+}
+
+TEST(Snoop, AbstractMesiMatrix) {
+  expect_abstract_matrix(protocols::make_mesi(), 3, "mesi n=3");
+}
+TEST(Snoop, AbstractMoesiMatrix) {
+  expect_abstract_matrix(protocols::make_moesi(), 3, "moesi n=3");
+}
+TEST(Snoop, AbstractMesifMatrix) {
+  expect_abstract_matrix(protocols::make_mesif(), 3, "mesif n=3");
+}
+TEST(Snoop, AbstractDragonMatrix) {
+  expect_abstract_matrix(protocols::make_dragon(), 3, "dragon n=3");
+}
+
+// ---- liveness: every fair run completes bus transactions forever ----------
+
+TEST(Snoop, AbstractLiveness) {
+  for (const auto& [name, p] : protocols::make_snoop_family()) {
+    RendezvousSystem sys(p, 2);
+    verify::LivenessOptions lopts;
+    lopts.memory_limit = 512u << 20;
+    auto r = ltl::check_ltl(sys, "G F completion", lopts);
+    EXPECT_EQ(r.status, Status::Ok) << name << ": " << r.violation;
+  }
+}
+
+// ---- refinement classifies broadcasts and never fuses them ----------------
+
+TEST(Snoop, RefineClassifiesBroadcasts) {
+  auto p = protocols::make_mesi();
+  auto rp = refine::refine(p);
+  using refine::MsgClass;
+  EXPECT_EQ(rp.cls(p.find_message("BusRd")), MsgClass::Broadcast);
+  EXPECT_EQ(rp.cls(p.find_message("BusRdX")), MsgClass::Broadcast);
+  EXPECT_EQ(rp.cls(p.find_message("BusWB")), MsgClass::Broadcast);
+  EXPECT_EQ(rp.cls(p.find_message("Evict")), MsgClass::Normal);
+  for (const auto& f : rp.remote_fusions)
+    EXPECT_NE(rp.cls(f.request), MsgClass::Broadcast);
+}
+
+// ---- refined level: split-transaction bus, invariant + matrix --------------
+
+void expect_refined_matrix(const ir::Protocol& p, int n, const char* what) {
+  auto rp = refine::refine(p);
+  AsyncSystem sys(rp, n);
+  auto inv = protocols::snoop_async_invariant(p, n);
+  auto baseline = check(sys, inv, PorMode::Off, SymmetryMode::Off,
+                        CompressionMode::Off, 1);
+  ASSERT_EQ(baseline.status, Status::Ok) << what << ": " << baseline.violation;
+  EXPECT_GT(baseline.states, 1u) << what;
+  for (unsigned jobs : {1u, 4u}) {
+    for (auto sym : {SymmetryMode::Off, SymmetryMode::Canonical}) {
+      for (auto comp : {CompressionMode::Off, CompressionMode::Collapse}) {
+        auto r = check(sys, inv, PorMode::Off, sym, comp, jobs);
+        EXPECT_EQ(r.status, Status::Ok)
+            << what << " jobs=" << jobs << " sym=" << static_cast<int>(sym)
+            << " comp=" << static_cast<int>(comp) << ": " << r.violation;
+        auto same_sym =
+            check(sys, inv, PorMode::Off, sym, CompressionMode::Off, 1);
+        EXPECT_EQ(r.states, same_sym.states)
+            << what << " jobs=" << jobs << " sym=" << static_cast<int>(sym);
+        EXPECT_EQ(r.transitions, same_sym.transitions)
+            << what << " jobs=" << jobs << " sym=" << static_cast<int>(sym);
+      }
+    }
+  }
+  // POR (no invariant, plain reachability + deadlock): verdict must agree
+  // with the full graph while storing at most as many states.
+  auto nul = [](const runtime::AsyncState&) { return std::string(); };
+  verify::CheckOptions<AsyncSystem> full_opts;
+  full_opts.want_trace = false;
+  full_opts.memory_limit = 512u << 20;
+  auto full = verify::explore(sys, full_opts);
+  verify::CheckOptions<AsyncSystem> por_opts = full_opts;
+  por_opts.por = PorMode::Ample;
+  auto reduced = verify::explore(sys, por_opts);
+  EXPECT_EQ(reduced.status, full.status) << what;
+  EXPECT_LE(reduced.states, full.states) << what;
+  (void)nul;
+}
+
+TEST(Snoop, RefinedMesiMatrix) {
+  expect_refined_matrix(protocols::make_mesi(), 2, "refined mesi n=2");
+}
+TEST(Snoop, RefinedMoesiMatrix) {
+  expect_refined_matrix(protocols::make_moesi(), 2, "refined moesi n=2");
+}
+TEST(Snoop, RefinedMesifMatrix) {
+  expect_refined_matrix(protocols::make_mesif(), 2, "refined mesif n=2");
+}
+TEST(Snoop, RefinedDragonMatrix) {
+  expect_refined_matrix(protocols::make_dragon(), 2, "refined dragon n=2");
+}
+
+// ---- timed bus simulator: drives the verified semantics -------------------
+
+TEST(Snoop, BusSimFinishesDeterministically) {
+  // bus_simulate steps sem::RendezvousSystem::successors, so every simulated
+  // behaviour is inside the verified state graph by construction; here we
+  // pin that runs finish, replay bit-identically under the same seed, and
+  // produce the counters the cost model is built around.
+  auto w = sim::make_bus_workload(3, 30, 0.3, 0.1, 16, 11);
+  for (const auto& [name, p] : protocols::make_snoop_family()) {
+    sim::BusOptions opts;
+    opts.seed = 11;
+    auto one = sim::bus_simulate(p, 3, w, opts);
+    auto two = sim::bus_simulate(p, 3, w, opts);
+    ASSERT_TRUE(one.finished) << name << ": " << one.stall;
+    EXPECT_EQ(one.cycles, two.cycles) << name;
+    EXPECT_EQ(one.steps, two.steps) << name;
+    EXPECT_EQ(one.bus_transactions, two.bus_transactions) << name;
+    EXPECT_GT(one.bus_transactions, 0u) << name;
+    EXPECT_GT(one.grants, 0u) << name;
+    std::uint64_t completed = 0;
+    for (const auto& r : one.remotes) completed += r.ops_completed;
+    EXPECT_EQ(completed, one.ops_total) << name;
+    if (name == "dragon")
+      EXPECT_GT(one.bus_updates, 0u);  // update-based: BusUpd traffic exists
+    else
+      EXPECT_EQ(one.bus_updates, 0u) << name;
+  }
+  // The owned state pays off on identical traffic: MOESI serves dirty misses
+  // cache-to-cache where MESI reflects them to memory.
+  sim::BusOptions opts;
+  opts.seed = 11;
+  auto mesi = sim::bus_simulate(protocols::make_mesi(), 3, w, opts);
+  auto moesi = sim::bus_simulate(protocols::make_moesi(), 3, w, opts);
+  EXPECT_LT(moesi.mem_writebacks, mesi.mem_writebacks);
+}
+
+}  // namespace
+}  // namespace ccref

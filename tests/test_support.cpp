@@ -414,6 +414,50 @@ TEST(Cli, UnknownFlagIsFatal) {
   EXPECT_EXIT(cli.finish(), testing::ExitedWithCode(2), "unknown flag");
 }
 
+TEST(Cli, DoubleFlagRejectsNonFiniteAndHex) {
+  // strtod happily parses "nan", "inf" and hex floats; a NaN assertion
+  // threshold makes every gate comparison false and the gate passes
+  // vacuously. All of these must die with exit 2, not sneak through.
+  for (const char* bad : {"nan", "inf", "-inf", "0x1p4", "0X2", "1e",
+                          "1.5x", ""}) {
+    const std::string arg = std::string("--rate=") + bad;
+    const char* argv[] = {"prog", arg.c_str()};
+    Cli cli(2, const_cast<char**>(argv));
+    EXPECT_EXIT((void)cli.double_flag("rate", 1.0, ""),
+                testing::ExitedWithCode(2), "finite decimal")
+        << "value: '" << bad << "'";
+  }
+}
+
+TEST(Cli, DoubleFlagAcceptsPlainDecimals) {
+  for (const char* good : {"0", "-2.5", "1e-3", ".5", "3."}) {
+    const std::string arg = std::string("--rate=") + good;
+    const char* argv[] = {"prog", arg.c_str()};
+    Cli cli(2, const_cast<char**>(argv));
+    EXPECT_DOUBLE_EQ(cli.double_flag("rate", 1.0, ""), std::strtod(good,
+                                                                   nullptr));
+    cli.finish();
+  }
+}
+
+TEST(Cli, BoolFlagRejectsJunk) {
+  const char* argv[] = {"prog", "--verbose=maybe"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT((void)cli.bool_flag("verbose", false, ""),
+              testing::ExitedWithCode(2), "expected true or false");
+}
+
+TEST(Cli, IntFlagRejectsJunk) {
+  for (const char* bad : {"12abc", "zz", ""}) {
+    const std::string arg = std::string("--nodes=") + bad;
+    const char* argv[] = {"prog", arg.c_str()};
+    Cli cli(2, const_cast<char**>(argv));
+    EXPECT_EXIT((void)cli.int_flag("nodes", 2, ""),
+                testing::ExitedWithCode(2), "expected integer")
+        << "value: '" << bad << "'";
+  }
+}
+
 // ---- byte-size parsing -----------------------------------------------------
 
 TEST(ParseSize, PlainAndSuffixedValues) {
