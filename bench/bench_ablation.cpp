@@ -87,6 +87,10 @@ int main(int argc, char** argv) {
         .field("status", verify::to_string(r.status))
         .field("states", r.states)
         .field("doomed", r.doomed)
+        // The progress checker keeps its reverse graph in RAM; zeros keep
+        // the disk-usage schema uniform across every bench's --json.
+        .field("spill_bytes", std::size_t{0})
+        .field("external_bytes", std::size_t{0})
         .field("verdict", verdict);
     json.push(o);
   };

@@ -87,7 +87,10 @@ int main(int argc, char** argv) {
                                           static_cast<double>(lat_n)
                                     : 0.0)
         .field("latency_max", lat_max)
-        .field("jain_fairness", stats.fairness_index());
+        .field("jain_fairness", stats.fairness_index())
+        // Simulator rows: zeros keep the disk-usage schema uniform.
+        .field("spill_bytes", std::size_t{0})
+        .field("external_bytes", std::size_t{0});
     json.push(o);
     table.row(
         {strf("%d", k),

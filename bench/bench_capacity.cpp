@@ -11,6 +11,10 @@
 //                 reported; violations stay exact)
 //   spill         full vectors, pools overflowing to an mmap arena
 //                 (rows emitted only when --spill DIR is given)
+//   external      disk-resident visited set: partitioned fingerprint runs
+//                 with delayed duplicate detection (rows emitted only when
+//                 --external DIR is given; reports disk bytes and merge
+//                 passes in --json)
 //
 // and then re-runs the Table-3 wall configurations (migratory N=5 at
 // 32 MB, invalidate N=5 with symmetry at 16 MB) to show the tiers turning
@@ -46,6 +50,7 @@ struct Tier {
   verify::CompressionMode compress = verify::CompressionMode::Off;
   bool hash_compact = false;
   bool spill = false;
+  bool external = false;
 };
 
 constexpr Tier kFull{"full"};
@@ -53,18 +58,22 @@ constexpr Tier kCollapse{"collapse", verify::CompressionMode::Collapse};
 constexpr Tier kHashCompact{"hash-compact", verify::CompressionMode::Off,
                             true};
 constexpr Tier kSpill{"spill", verify::CompressionMode::Off, false, true};
+constexpr Tier kExternal{"external", verify::CompressionMode::Off, false,
+                         false, true};
 
 std::string cell(const verify::CheckResult& r) {
   if (r.status == verify::Status::Unfinished)
     return strf("Unfinished (%zu+)", r.states);
   std::string c = strf("%zu/%.2f", r.states, r.seconds);
-  if (r.spill_bytes > 0) c += strf(" +%zuMB disk", r.spill_bytes >> 20);
+  const std::size_t disk = r.spill_bytes + r.external_bytes;
+  if (disk > 0) c += strf(" +%zuMB disk", disk >> 20);
   return c;
 }
 
 struct Runner {
   unsigned jobs = 1;
   SpillArena* arena = nullptr;  // null: spill rows are skipped
+  const verify::ExternalPolicy* external = nullptr;  // null: external skipped
   Table table{{"Protocol", "N", "Mem", "Symmetry", "Tier",
                "States/s (async)"}};
   JsonArrayFile json;
@@ -78,6 +87,7 @@ struct Runner {
     opts.compress = tier.compress;
     opts.hash_compact = tier.hash_compact;
     if (tier.spill && arena != nullptr) opts.spill = {arena, mem / 2};
+    if (tier.external && external != nullptr) opts.external = *external;
     return jobs <= 1 ? verify::explore(sys, opts)
                      : verify::par_explore(sys, opts, jobs, jobs);
   }
@@ -102,6 +112,8 @@ struct Runner {
         .field("seconds", r.seconds)
         .field("memory_bytes", r.memory_bytes)
         .field("spill_bytes", r.spill_bytes)
+        .field("external_bytes", r.external_bytes)
+        .field("merge_passes", r.merge_passes)
         .field("waste_bytes", r.waste_bytes)
         .field("omission_probability", r.omission_probability);
     json.push(o);
@@ -137,6 +149,7 @@ int main(int argc, char** argv) {
   Runner runner;
   runner.jobs = jobs;
   runner.arena = storage.arena.get();
+  if (storage.external.enabled()) runner.external = &storage.external;
 
   auto migratory = protocols::make_migratory();
   auto invalidate = protocols::make_invalidate();
@@ -145,6 +158,7 @@ int main(int argc, char** argv) {
 
   std::vector<Tier> tiers{kFull, kCollapse, kHashCompact};
   if (storage.arena) tiers.push_back(kSpill);
+  if (runner.external) tiers.push_back(kExternal);
 
   if (smoke) {
     // CI: one walled budget per protocol, every tier, counts checked
@@ -167,7 +181,8 @@ int main(int argc, char** argv) {
       for (const auto& tier : tiers) {
         auto r = runner.row(name, sys, n, wall, verify::SymmetryMode::Off,
                             tier);
-        const bool must_finish = tier.hash_compact || tier.spill;
+        const bool must_finish =
+            tier.hash_compact || tier.spill || tier.external;
         if (must_finish &&
             (r.status != verify::Status::Ok || r.states != ref.states)) {
           std::fprintf(stderr,
@@ -184,9 +199,10 @@ int main(int argc, char** argv) {
     runner.table.print(std::cout);
     if (!json_path.empty() && !runner.json.write(json_path)) return 1;
     if (!ok) return 1;
-    std::printf("\ncapacity gate passed: hash-compact%s finished the walled "
-                "runs with reference-exact counts\n",
-                storage.arena ? " and spill" : "");
+    std::printf("\ncapacity gate passed: hash-compact%s%s finished the "
+                "walled runs with reference-exact counts\n",
+                storage.arena ? " and spill" : "",
+                runner.external ? " and external" : "");
     return 0;
   }
 
@@ -219,8 +235,10 @@ int main(int argc, char** argv) {
   std::printf(
       "\nreading: at 64 MB full storage walls at migratory N=5 / invalidate "
       "N=4;\nhash compaction clears both (omission probability reported in "
-      "--json),\nand --spill DIR finishes them with full vectors by paging "
-      "pools to disk.\n");
+      "--json),\n--spill DIR finishes them with full vectors by paging "
+      "pools to disk,\nand --external DIR moves the visited set itself to "
+      "disk — exact counts\nat budgets where even the spill tier's tables "
+      "no longer fit.\n");
   if (!json_path.empty() && !runner.json.write(json_path)) return 1;
   return 0;
 }

@@ -60,7 +60,10 @@ void row_for(Table& table, JsonArrayFile& json, const char* proto,
       .field("ack", stats.ack)
       .field("nack", stats.nack)
       .field("repl", stats.repl)
-      .field("msgs_per_op", stats.msgs_per_op());
+      .field("msgs_per_op", stats.msgs_per_op())
+      // Simulator rows: zeros keep the disk-usage schema uniform.
+      .field("spill_bytes", std::size_t{0})
+      .field("external_bytes", std::size_t{0});
   json.push(o);
   table.row({proto, variant, strf("%d", n), strf("%llu",
                  static_cast<unsigned long long>(stats.ops_total)),

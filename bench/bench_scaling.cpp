@@ -107,7 +107,9 @@ int run_sweep(std::size_t as_mem, unsigned sweep_n, unsigned shards,
             .field("seconds", r.seconds)
             .field("states_per_sec", states_per_sec(r))
             .field("speedup_vs_1", speedup)
-            .field("memory_bytes", r.memory_bytes);
+            .field("memory_bytes", r.memory_bytes)
+            .field("spill_bytes", r.spill_bytes)
+            .field("external_bytes", r.external_bytes);
         json.push(o);
         const bool gated =
             assert_protocol.empty() || assert_protocol == cfg.name;
@@ -231,7 +233,9 @@ int main(int argc, char** argv) {
         .field("states_per_sec", states_per_sec(r))
         .field("memory_bytes", r.memory_bytes)
         .field("pool_bytes", r.pool_bytes)
-        .field("raw_pool_bytes", r.raw_pool_bytes);
+        .field("raw_pool_bytes", r.raw_pool_bytes)
+        .field("spill_bytes", r.spill_bytes)
+        .field("external_bytes", r.external_bytes);
     json.push(o);
   };
   auto record_bitstate = [&](const char* semantics, int n,
@@ -241,7 +245,10 @@ int main(int argc, char** argv) {
         .field("states", r.states)
         .field("transitions", r.transitions)
         .field("seconds", r.seconds)
-        .field("memory_bytes", r.memory_bytes);
+        .field("memory_bytes", r.memory_bytes)
+        // Bitstate keeps its bit array in RAM; zeros keep the schema uniform.
+        .field("spill_bytes", std::size_t{0})
+        .field("external_bytes", std::size_t{0});
     json.push(o);
   };
 

@@ -161,6 +161,44 @@ int smoke() {
     SMOKE_CHECK(one.stats.ops_total == four.stats.ops_total);
     SMOKE_CHECK(one.events_per_sec() > 0 && four.events_per_sec() > 0);
   }
+  // 4. Lane imbalance: every node sticks to its own address, so no op ever
+  //    crosses lanes, and two nodes carry 300x the work of the rest. The
+  //    adaptive horizon must collapse the barrier count vs fixed windows
+  //    while leaving the protocol work identical (same ops, same events).
+  {
+    std::string text;
+    for (int pair = 0; pair < 1500; ++pair)
+      for (int node : {0, 4})
+        text += strf("%d w 0x%x 1\n%d evict 0x%x 1\n", node, node, node,
+                     node);
+    for (int node : {1, 2, 3, 5, 6, 7})
+      for (int pair = 0; pair < 5; ++pair)
+        text += strf("%d w 0x%x 1\n%d evict 0x%x 1\n", node, node, node,
+                     node);
+    sim::Trace trace;
+    std::string err;
+    SMOKE_CHECK(sim::parse_trace(text, trace, err));
+    auto p = protocols::make_invalidate();
+    refine::Options opts;
+    opts.channel_capacity = 8;
+    auto rp = refine::refine(p, opts);
+    sim::DesOptions fixed;
+    fixed.lanes = 4;
+    fixed.window_max = 0;  // pin the old fixed-barrier cadence
+    sim::DesOptions adaptive;
+    adaptive.lanes = 4;
+    sim::TraceSource src_f(p, trace);
+    auto f = timed_run(rp, src_f, fixed);
+    sim::TraceSource src_a(p, trace);
+    auto a = timed_run(rp, src_a, adaptive);
+    SMOKE_CHECK(f.stats.finished && a.stats.finished);
+    SMOKE_CHECK(f.stats.ops_total == trace.records.size());
+    SMOKE_CHECK(a.stats.ops_total == f.stats.ops_total);
+    SMOKE_CHECK(a.stats.events == f.stats.events);
+    SMOKE_CHECK(a.stats.messages() == f.stats.messages());
+    SMOKE_CHECK(f.stats.windows > 0 && a.stats.windows > 0);
+    SMOKE_CHECK(a.stats.windows * 2 <= f.stats.windows);
+  }
   std::printf("bench_sim --smoke: OK\n");
   return 0;
 }
@@ -234,9 +272,14 @@ int main(int argc, char** argv) {
           .field("seconds", t.seconds)
           .field("events_per_sec", t.events_per_sec())
           .field("speedup_vs_1", speedup)
+          .field("windows", t.stats.windows)
           .field("msgs_per_op", t.stats.msgs_per_op())
           .field("lat_p50", t.stats.latency.percentile(0.5))
-          .field("lat_p99", t.stats.latency.percentile(0.99));
+          .field("lat_p99", t.stats.latency.percentile(0.99))
+          // The simulator holds everything in RAM; zeros keep the
+          // disk-usage schema uniform across every bench's --json.
+          .field("spill_bytes", std::size_t{0})
+          .field("external_bytes", std::size_t{0});
       json.push(o);
     }
   }
@@ -303,7 +346,9 @@ int main(int argc, char** argv) {
           .field("nacks", t.stats.nack)
           .field("lat_p50", t.stats.latency.percentile(0.5))
           .field("lat_p99", t.stats.latency.percentile(0.99))
-          .field("home_occupancy", t.stats.home_occupancy());
+          .field("home_occupancy", t.stats.home_occupancy())
+          .field("spill_bytes", std::size_t{0})
+          .field("external_bytes", std::size_t{0});
       json.push(o);
     }
   }

@@ -189,7 +189,9 @@ int main(int argc, char** argv) {
           .field("status", "ok")
           .field("states", r.result.states)
           .field("transitions", r.result.transitions)
-          .field("seconds", r.seconds);
+          .field("seconds", r.seconds)
+          .field("spill_bytes", r.result.spill_bytes)
+          .field("external_bytes", r.result.external_bytes);
       json.push(o);
     }
   }

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
     copts.memory_limit = mem;
     copts.hash_compact = storage.hash_compact;
     copts.spill = storage.spill;
+    copts.external = storage.external;
     copts.want_trace = false;
     copts.edge_check = [&](const runtime::AsyncState& a,
                            const runtime::AsyncState& b,
@@ -94,7 +95,9 @@ int main(int argc, char** argv) {
         .field("rendezvous_steps", steps)
         .field("violations", violations)
         .field("seconds", r.seconds)
-        .field("memory_bytes", r.memory_bytes);
+        .field("memory_bytes", r.memory_bytes)
+        .field("spill_bytes", r.spill_bytes)
+        .field("external_bytes", r.external_bytes);
     json.push(o);
   };
 

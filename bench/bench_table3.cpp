@@ -61,6 +61,7 @@ verify::CheckResult run(const Sys& sys, const StorageFlags& storage,
   opts.compress = compress;
   opts.hash_compact = storage.hash_compact;
   opts.spill = storage.spill;
+  opts.external = storage.external;
   opts.expected_states = expect_states;
   return jobs <= 1 ? verify::explore(sys, opts)
                    : verify::par_explore(sys, opts, jobs, shards);
@@ -129,11 +130,12 @@ int main(int argc, char** argv) {
   }
 
   std::printf("Table 3: states visited / seconds for reachability analysis\n");
-  std::printf("(verifications limited to %zu MB of state memory, %u job%s%s%s%s)\n\n",
+  std::printf("(verifications limited to %zu MB of state memory, %u job%s%s%s%s%s)\n\n",
               storage.memory_limit >> 20, jobs, jobs == 1 ? "" : "s",
               bitstate ? ", bitstate" : "",
               storage.hash_compact ? ", hash-compact" : "",
-              storage.arena ? ", spill" : "");
+              storage.arena ? ", spill" : "",
+              storage.external.enabled() ? ", external" : "");
 
   Table table({"Protocol", "N", "Asynchronous protocol",
                "Rendezvous protocol"});
@@ -161,6 +163,8 @@ int main(int argc, char** argv) {
         .field("hash_compact", storage.hash_compact)
         .field("omission_probability", r.omission_probability)
         .field("spill_bytes", r.spill_bytes)
+        .field("external_bytes", r.external_bytes)
+        .field("merge_passes", r.merge_passes)
         .field("waste_bytes", r.waste_bytes)
         .field("pool_bytes", r.pool_bytes)
         .field("raw_pool_bytes", r.raw_pool_bytes)

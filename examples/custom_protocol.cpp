@@ -154,6 +154,7 @@ int main(int argc, char** argv) {
   rv_opts.memory_limit = storage.memory_limit;
   rv_opts.hash_compact = storage.hash_compact;
   rv_opts.spill = storage.spill;
+  rv_opts.external = storage.external;
   rv_opts.symmetry = *symmetry;
   rv_opts.compress = *compress;
   auto rv = jobs <= 1 ? verify::explore(rendezvous, rv_opts)
@@ -187,6 +188,7 @@ int main(int argc, char** argv) {
   opts.memory_limit = storage.memory_limit;
   opts.hash_compact = storage.hash_compact;
   opts.spill = storage.spill;
+  opts.external = storage.external;
   opts.symmetry = *symmetry;
   // The Equation-1 edge check must see every edge, so the engine downgrades
   // --por ample here and says so in the note.

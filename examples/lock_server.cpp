@@ -110,6 +110,7 @@ int main(int argc, char** argv) {
     rv_opts.memory_limit = storage.memory_limit;
     rv_opts.hash_compact = storage.hash_compact;
     rv_opts.spill = storage.spill;
+    rv_opts.external = storage.external;
     rv_opts.symmetry = *symmetry;
     rv_opts.compress = *compress;
     rv_opts.invariant = protocols::lock_server_invariant(p, check_n);
@@ -132,6 +133,7 @@ int main(int argc, char** argv) {
     as_opts.memory_limit = storage.memory_limit;
     as_opts.hash_compact = storage.hash_compact;
     as_opts.spill = storage.spill;
+    as_opts.external = storage.external;
     as_opts.symmetry = *symmetry;
     // Invariant + edge check force the engine to see every state and edge,
     // so --por ample is downgraded here (the note says so); the progress

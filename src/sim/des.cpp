@@ -576,8 +576,11 @@ class Engine {
   std::string budget_stall_;
 
   // Multi-lane shared coordination (written only in the barrier completion
-  // function, which runs exclusively while all lanes wait).
+  // function, which runs exclusively while all lanes wait; lanes read after
+  // the barrier releases them, so no synchronization beyond it is needed).
   std::uint64_t window_start_ = 0;
+  std::uint64_t window_len_ = 0;  // current adaptive window length
+  std::uint64_t windows_ = 0;     // barrier completions
   bool done_ = false;
 };
 
@@ -645,11 +648,18 @@ DesStats Engine::run() {
     Lane& l = *lanes_[0];
     run_until(l, kNever, /*check_budget=*/true);
   } else {
-    auto on_window = [this]() noexcept {
-      const std::uint64_t next = window_start_ + opts_.window;
+    window_len_ = std::max<std::uint64_t>(1, opts_.window);
+    const std::uint64_t cap =
+        opts_.window_max ? std::max(opts_.window_max, window_len_)
+                         : window_len_;
+    auto on_window = [this, cap]() noexcept {
+      ++windows_;
+      const std::uint64_t next = window_start_ + window_len_;
       std::uint64_t mint = kNever;
+      bool handoff = false;
       for (auto& lp : lanes_) {
         for (const Handoff& h : lp->outbox) {
+          handoff = true;
           const std::uint64_t t = std::max(h.time, next);
           schedule(*lanes_[h.lane], t, {Event::kIssue, h.node, 0});
           mint = std::min(mint, t);
@@ -675,13 +685,19 @@ DesStats Engine::run() {
           return;
         }
       }
-      window_start_ = std::max(next, (mint / opts_.window) * opts_.window);
+      // Adapt to the observed cross-lane horizon: a handoff-free window
+      // proves the lanes ran independently for its whole span, so the next
+      // one doubles; any handoff resets to the base so the clamp error of
+      // interacting lanes stays bounded by `window`.
+      window_len_ = handoff ? std::max<std::uint64_t>(1, opts_.window)
+                            : std::min(window_len_ * 2, cap);
+      window_start_ = std::max(next, (mint / window_len_) * window_len_);
     };
     std::barrier bar(lanes, on_window);
     auto lane_main = [&](int idx) {
       Lane& l = *lanes_[idx];
       for (;;) {
-        l.next_time = run_until(l, window_start_ + opts_.window,
+        l.next_time = run_until(l, window_start_ + window_len_,
                                 /*check_budget=*/false);
         bar.arrive_and_wait();
         if (done_) break;
@@ -701,6 +717,7 @@ DesStats Engine::run() {
     out.merge(lp->stats);
     streams_done += lp->streams_done;
   }
+  out.windows = windows_;
   if (opts_.max_cycles) out.cycles = std::min(out.cycles, opts_.max_cycles);
   out.finished = streams_done == num_nodes_ && budget_stall_.empty();
   if (!out.finished) {

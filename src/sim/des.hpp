@@ -25,7 +25,16 @@
 // time clamped to the next window start. Timestamps therefore never run
 // backwards (conservative synchronization), every exchange happens in a
 // single-threaded barrier completion, and a run is deterministic for a
-// fixed (seed, lanes, window).
+// fixed (seed, lanes, window, window_max).
+//
+// The window length adapts to the observed cross-lane event horizon: a
+// barrier that exchanged no handoffs proves the lanes ran independently for
+// the whole window, so the next window doubles (up to `window_max`); any
+// handoff resets the length to the base `window`. Correctness never depends
+// on the length — every exchange still happens at a barrier and issue times
+// are still clamped forward — and the clamp error stays bounded by the base
+// window whenever lanes actually interact. Workloads whose nodes stay on
+// their own lane pay O(log) barriers instead of one per `window` cycles.
 #pragma once
 
 #include <cstdint>
@@ -44,8 +53,12 @@ struct DesOptions {
   bool write_buffer = false;      // retire stores into a bounded buffer
   int write_buffer_capacity = 8;  // stores held before a forced drain
   int lanes = 1;
-  std::uint64_t window = 1024;  // cross-lane synchronization window (cycles)
-  int slot_cap = 64;            // concurrent bound nodes per address
+  std::uint64_t window = 1024;  // base cross-lane sync window (cycles)
+  // Adaptive-window cap: handoff-free windows double up to this length; a
+  // handoff resets to `window`. 0 pins every window at `window` (the old
+  // fixed-barrier cadence).
+  std::uint64_t window_max = 1 << 17;
+  int slot_cap = 64;  // concurrent bound nodes per address
 };
 
 /// Run `source` to completion (or budget exhaustion) under the cost model.

@@ -102,6 +102,7 @@ void DesStats::merge(const DesStats& other) {
   wbuf_hits += other.wbuf_hits;
   wbuf_drains += other.wbuf_drains;
   instances += other.instances;
+  windows += other.windows;
   latency.merge(other.latency);
   if (nodes.size() < other.nodes.size()) nodes.resize(other.nodes.size());
   for (std::size_t i = 0; i < other.nodes.size(); ++i)

@@ -79,6 +79,7 @@ struct DesStats {
   std::uint64_t wbuf_hits = 0;         // stores retired into the write buffer
   std::uint64_t wbuf_drains = 0;       // buffer flushes on coherence events
   std::uint64_t instances = 0;         // address instances materialized
+  std::uint64_t windows = 0;  // cross-lane barriers (0 for a single lane)
   LatencyHistogram latency;            // per-op issue -> completion cycles
   std::vector<NodeOps> nodes;
   bool finished = false;

@@ -57,6 +57,7 @@ enum class InsertOutcome : std::uint8_t {
   Inserted,        ///< fresh state, now stored
   AlreadyPresent,  ///< equal bytes were already stored
   Exhausted,       ///< memory budget refused the insertion
+  Deferred,        ///< external tier: queued for delayed duplicate detection
 };
 
 /// Append-only arena: chunk k holds (chunk0 << k) bytes, so 32 chunks

@@ -1,0 +1,160 @@
+#include "support/run_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "support/strings.hpp"
+
+namespace ccref {
+
+namespace {
+// Distinguishes files of concurrent sets sharing one directory during the
+// pre-unlink window (and keeps O_EXCL collisions impossible).
+std::atomic<std::uint64_t> g_run_seq{0};
+}  // namespace
+
+bool ensure_run_dir(const std::string& dir) {
+  if (dir.empty()) return false;
+  if (::mkdir(dir.c_str(), 0700) != 0 && errno != EEXIST) return false;
+  std::string probe = strf("%s/.ccref-run-probe-%d", dir.c_str(),
+                           static_cast<int>(::getpid()));
+  int fd = ::open(probe.c_str(), O_CREAT | O_RDWR, 0600);
+  if (fd < 0) return false;
+  ::close(fd);
+  ::unlink(probe.c_str());
+  return true;
+}
+
+RunFile& RunFile::operator=(RunFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    dead_ = std::exchange(other.dead_, false);
+    size_ = std::exchange(other.size_, 0);
+    flushed_ = std::exchange(other.flushed_, 0);
+    buf_ = std::move(other.buf_);
+    buf_used_ = std::exchange(other.buf_used_, 0);
+  }
+  return *this;
+}
+
+bool RunFile::open(const std::string& dir, const char* tag,
+                   std::size_t buffer_bytes) {
+  close();
+  std::string path = strf(
+      "%s/run-%d-%llu-%s.tmp", dir.c_str(), static_cast<int>(::getpid()),
+      static_cast<unsigned long long>(
+          g_run_seq.fetch_add(1, std::memory_order_relaxed)),
+      tag);
+  fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_EXCL, 0600);
+  if (fd_ < 0) return false;
+  // The fd owns the blocks from here: a crashed run leaves no files.
+  ::unlink(path.c_str());
+  dead_ = false;
+  size_ = flushed_ = 0;
+  buf_.resize(buffer_bytes == 0 ? 1 : buffer_bytes);
+  buf_used_ = 0;
+  return true;
+}
+
+bool RunFile::append(const void* data, std::size_t n) {
+  if (!ok()) return false;
+  const auto* p = static_cast<const std::byte*>(data);
+  while (n > 0) {
+    if (buf_used_ == buf_.size() && !flush()) return false;
+    if (buf_used_ == 0 && n >= buf_.size()) {
+      // Oversized writes bypass the buffer entirely.
+      ssize_t w = ::pwrite(fd_, p, n, static_cast<off_t>(flushed_));
+      if (w < 0 || static_cast<std::size_t>(w) != n) {
+        dead_ = true;
+        return false;
+      }
+      flushed_ += n;
+      size_ += n;
+      return true;
+    }
+    const std::size_t take = std::min(n, buf_.size() - buf_used_);
+    std::memcpy(buf_.data() + buf_used_, p, take);
+    buf_used_ += take;
+    size_ += take;
+    p += take;
+    n -= take;
+  }
+  return true;
+}
+
+bool RunFile::flush() {
+  if (!ok()) return false;
+  if (buf_used_ == 0) return true;
+  ssize_t w = ::pwrite(fd_, buf_.data(), buf_used_,
+                       static_cast<off_t>(flushed_));
+  if (w < 0 || static_cast<std::size_t>(w) != buf_used_) {
+    dead_ = true;
+    return false;
+  }
+  flushed_ += buf_used_;
+  buf_used_ = 0;
+  return true;
+}
+
+bool RunFile::pread_at(std::uint64_t offset, void* out, std::size_t n) const {
+  if (fd_ < 0 || dead_ || offset + n > flushed_) return false;
+  auto* p = static_cast<std::byte*>(out);
+  while (n > 0) {
+    ssize_t r = ::pread(fd_, p, n, static_cast<off_t>(offset));
+    if (r <= 0) return false;
+    offset += static_cast<std::uint64_t>(r);
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool RunFile::reset() {
+  if (!ok()) return false;
+  if (::ftruncate(fd_, 0) != 0) {
+    dead_ = true;
+    return false;
+  }
+  size_ = flushed_ = 0;
+  buf_used_ = 0;
+  return true;
+}
+
+void RunFile::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  dead_ = false;
+  size_ = flushed_ = 0;
+  buf_.clear();
+  buf_used_ = 0;
+}
+
+bool RunFile::Reader::read(void* out, std::size_t n) {
+  auto* p = static_cast<std::byte*>(out);
+  while (n > 0) {
+    if (buf_off_ == buf_len_) {
+      const std::uint64_t left = remaining();
+      if (left == 0) return false;
+      buf_len_ = static_cast<std::size_t>(
+          std::min<std::uint64_t>(left, buf_.size()));
+      if (!file_->pread_at(pos_, buf_.data(), buf_len_)) return false;
+      buf_off_ = 0;
+    }
+    const std::size_t take = std::min(n, buf_len_ - buf_off_);
+    std::memcpy(p, buf_.data() + buf_off_, take);
+    buf_off_ += take;
+    pos_ += take;
+    p += take;
+    n -= take;
+  }
+  return true;
+}
+
+}  // namespace ccref

@@ -1,0 +1,100 @@
+// Append-only run files for external-memory algorithms (the disk side of
+// the delayed-duplicate-detection visited set, external_set.hpp).
+//
+// A RunFile is a plain POSIX file created O_EXCL in a caller-chosen
+// directory and unlinked immediately — the fd (not the directory entry)
+// owns the blocks, so a crashed or killed run leaves nothing behind, the
+// same discipline as SpillArena's mmap chunks. Unlike the arena, run
+// files are never mapped: access is strictly sequential append (buffered
+// through a small RAM window, flushed with pwrite) plus sequential or
+// positioned pread — the access pattern sorted-run merging wants, with
+// no page-cache aliasing of a mapping to reason about.
+//
+// All I/O is checked: any short write/read or syscall failure marks the
+// file dead and every later operation reports failure, so a full disk
+// surfaces as an honest verdict upstream (Unfinished), never silent
+// truncation of the visited set.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccref {
+
+/// Create `dir` (one level) if missing and probe it for writability.
+/// False when the directory cannot be created or written.
+[[nodiscard]] bool ensure_run_dir(const std::string& dir);
+
+class RunFile {
+ public:
+  RunFile() = default;
+  ~RunFile() { close(); }
+
+  RunFile(RunFile&& other) noexcept { *this = std::move(other); }
+  RunFile& operator=(RunFile&& other) noexcept;
+
+  RunFile(const RunFile&) = delete;
+  RunFile& operator=(const RunFile&) = delete;
+
+  /// Create a fresh unlinked file under `dir`. `tag` names the file for
+  /// the brief window before unlink (debuggability only). `buffer_bytes`
+  /// sizes the append buffer. False on any failure.
+  [[nodiscard]] bool open(const std::string& dir, const char* tag,
+                          std::size_t buffer_bytes = 4096);
+
+  [[nodiscard]] bool ok() const { return fd_ >= 0 && !dead_; }
+
+  /// Buffered append; false on I/O failure (file is dead afterwards).
+  [[nodiscard]] bool append(const void* data, std::size_t n);
+
+  /// Flush the append buffer to disk. Required before read/pread_at see
+  /// the buffered tail. False on I/O failure.
+  [[nodiscard]] bool flush();
+
+  /// Logical bytes appended so far (buffered or flushed).
+  [[nodiscard]] std::uint64_t bytes() const { return size_; }
+
+  /// Positioned read of flushed content; false on failure or short read.
+  [[nodiscard]] bool pread_at(std::uint64_t offset, void* out,
+                              std::size_t n) const;
+
+  /// Truncate back to empty and restart appends at offset zero (pending
+  /// buffers are reused across merge generations). False on failure.
+  [[nodiscard]] bool reset();
+
+  void close();
+
+  /// Buffered sequential reader over a RunFile's flushed content. The
+  /// caller flushes first and does not append while reading.
+  class Reader {
+   public:
+    explicit Reader(const RunFile& file, std::size_t buffer_bytes = 65536)
+        : file_(&file), buf_(buffer_bytes) {}
+
+    /// Read exactly `n` bytes; false at (clean or short) end of data.
+    [[nodiscard]] bool read(void* out, std::size_t n);
+
+    [[nodiscard]] std::uint64_t remaining() const {
+      return file_->bytes() - pos_;
+    }
+
+   private:
+    const RunFile* file_;
+    std::vector<std::byte> buf_;
+    std::uint64_t pos_ = 0;    // logical read position in the file
+    std::size_t buf_off_ = 0;  // consumed bytes of the current window
+    std::size_t buf_len_ = 0;  // valid bytes in the current window
+  };
+
+ private:
+  int fd_ = -1;
+  bool dead_ = false;
+  std::uint64_t size_ = 0;     // logical size incl. buffered tail
+  std::uint64_t flushed_ = 0;  // bytes actually written to the fd
+  std::vector<std::byte> buf_;
+  std::size_t buf_used_ = 0;
+};
+
+}  // namespace ccref

@@ -8,11 +8,15 @@
 //   --spill-cap SIZE    cap on spill bytes (0 = whatever the disk holds)
 //   --spill-watermark   RAM use past which fresh chunks spill
 //                       (0 = half of --mem, leaving the tables headroom)
+//   --external DIR      disk-resident visited set: partitioned fingerprint
+//                       runs + delayed duplicate detection (external_set.hpp)
+//   --external-watermark N  pending fingerprints per partition before a
+//                       merge (0 = sized from --mem)
 //
 // Declaring them here keeps the spelling and the --help text identical
 // across binaries, and owns the SpillArena so callers just thread
-// `flags.spill` into CheckOptions. A --spill directory that cannot be
-// created is an option error (exit 2), not a silent RAM-only run.
+// `flags.spill` into CheckOptions. A --spill or --external directory that
+// cannot be created is an option error (exit 2), not a silent RAM-only run.
 #pragma once
 
 #include <cstdio>
@@ -22,7 +26,9 @@
 #include <string>
 
 #include "support/cli.hpp"
+#include "support/run_file.hpp"
 #include "support/spill.hpp"
+#include "verify/external_set.hpp"
 
 namespace ccref {
 
@@ -31,6 +37,7 @@ struct StorageFlags {
   bool hash_compact = false;
   std::unique_ptr<SpillArena> arena;  // null when --spill was not given
   SpillPolicy spill;                  // default-null policy without an arena
+  verify::ExternalPolicy external;    // empty dir when --external not given
 };
 
 [[nodiscard]] inline StorageFlags storage_flags(Cli& cli,
@@ -59,6 +66,22 @@ struct StorageFlags {
     }
     f.spill = {f.arena.get(),
                watermark == 0 ? f.memory_limit / 2 : watermark};
+  }
+  std::string ext_dir = cli.str_flag(
+      "external", "",
+      "directory for the disk-resident visited set (delayed duplicate "
+      "detection; default: none)");
+  auto ext_watermark = static_cast<std::size_t>(cli.size_flag(
+      "external-watermark", "0", 0, kMax,
+      "pending fingerprints per partition before a merge (0: from --mem)"));
+  if (!ext_dir.empty()) {
+    if (!ensure_run_dir(ext_dir)) {
+      std::fprintf(stderr, "--external: cannot create directory '%s'\n",
+                   ext_dir.c_str());
+      std::exit(2);
+    }
+    f.external.dir = std::move(ext_dir);
+    f.external.watermark = ext_watermark;
   }
   return f;
 }

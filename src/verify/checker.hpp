@@ -66,11 +66,17 @@ struct CheckResult {
   /// chunk-seam skips plus final-chunk tails. The honest gap between
   /// memory charged and memory used by actual data.
   std::size_t waste_bytes = 0;
-  /// Hash compaction only: birthday-bound probability that at least one
-  /// distinct state was omitted because its 64-bit fingerprint collided
-  /// (~states²/2⁶⁵). Zero for the exact storage tiers. Violation verdicts
-  /// and their traces are exact regardless — only Ok's state count
-  /// carries this caveat.
+  /// Disk bytes held by the external visited tier at finish (pending +
+  /// history runs, order log, frontier queue). Zero without --external.
+  std::size_t external_bytes = 0;
+  /// Sorted-run merge passes the external tier performed (one per
+  /// partition per delayed-duplicate-detection round).
+  std::size_t merge_passes = 0;
+  /// Hash compaction / external tier only: birthday-bound probability
+  /// that at least one distinct state was omitted because its 64-bit
+  /// fingerprint collided (~states²/2⁶⁵). Zero for the exact storage
+  /// tiers. Violation verdicts and their traces are exact regardless —
+  /// only Ok's state count carries this caveat.
   double omission_probability = 0;
   double seconds = 0;
   std::string violation;           // message for violated invariant
@@ -120,6 +126,15 @@ struct CheckOptions {
   /// files in the SpillArena instead of the heap. Default: no arena, RAM
   /// only. The random-access tables stay in RAM either way.
   SpillPolicy spill;
+  /// Disk-backed visited tier (--external DIR): fingerprints live in
+  /// partitioned run files behind a RAM cache front, and membership
+  /// resolves by sorted-run delayed duplicate detection — the visited
+  /// TABLE leaves RAM, which spill alone cannot do. Subsumes
+  /// hash_compact (same fingerprint representation and omission bound)
+  /// and makes compress moot; both are noted, not errors. POR downgrades
+  /// to Off: the ample proviso needs immediate revisit answers, which
+  /// deferred membership cannot give.
+  ExternalPolicy external;
   /// Pre-size the visited set's hash table for this many states (0: grow on
   /// demand). The charge is taken up front, capped at half the budget.
   std::size_t expected_states = 0;
@@ -383,9 +398,28 @@ BfsOutcome bfs_reach(const Sys& sys, CollapsedStateSet& seen,
     auto ins = seen.insert(sink.bytes(), sink.marks());
     if (ins.outcome == StateSet::Outcome::Exhausted)
       return BfsOutcome::Exhausted;
-    CCREF_ASSERT(ins.outcome == StateSet::Outcome::Inserted);
+    if (ins.outcome == StateSet::Outcome::Deferred) {
+      // External tier: the root is pending in a partition file; one
+      // resolve admits it (it cannot be a duplicate of anything).
+      if (seen.resolve_pending() == ResolveOutcome::Failed)
+        return BfsOutcome::Exhausted;
+      CCREF_ASSERT(seen.size() == 1);
+    } else {
+      CCREF_ASSERT(ins.outcome == StateSet::Outcome::Inserted);
+    }
   }
-  for (std::uint32_t cursor = 0; cursor < seen.size(); ++cursor) {
+  for (std::uint32_t cursor = 0;; ++cursor) {
+    if (cursor >= seen.size()) {
+      // Deferred-frontier phase (external tier): the in-order frontier is
+      // spent, but partitions may hold pending fingerprints below their
+      // watermarks. Merge them all; genuinely-new states extend the
+      // frontier and the sweep continues. RAM tiers answer Drained
+      // immediately — this branch is their loop exit, same cost as the
+      // old `cursor < seen.size()` condition.
+      const ResolveOutcome rr = seen.resolve_pending();
+      if (rr == ResolveOutcome::Failed) return BfsOutcome::Exhausted;
+      if (rr == ResolveOutcome::Drained) break;
+    }
     ByteSource src(seen.at(cursor));
     auto state = sys.decode(src);
 
@@ -398,7 +432,12 @@ BfsOutcome bfs_reach(const Sys& sys, CollapsedStateSet& seen,
       auto ins = seen.insert(sink.bytes(), sink.marks());
       if (ins.outcome == StateSet::Outcome::Exhausted)
         return BfsOutcome::Exhausted;
-      if (ins.outcome == StateSet::Outcome::AlreadyPresent) revisit = true;
+      // A Deferred successor may yet prove fresh, so the C3 proviso must
+      // assume a revisit — sound (at worst a full expansion), and the
+      // checkers downgrade POR under the external tier anyway.
+      if (ins.outcome == StateSet::Outcome::AlreadyPresent ||
+          ins.outcome == StateSet::Outcome::Deferred)
+        revisit = true;
       if (!on_insert(cursor, ins, succ, label)) return BfsOutcome::Stopped;
       return BfsOutcome::Complete;  // keep going
     };
@@ -447,19 +486,31 @@ template <class Sys>
                                   const CheckOptions<Sys>& opts = {}) {
   auto t0 = std::chrono::steady_clock::now();
   CheckResult result;
+  const bool external = opts.external.enabled();
   StorageOptions st{.compress = opts.compress,
                     .hash_compact = opts.hash_compact,
                     .fingerprint = opts.fingerprint,
                     // The fingerprint log exists only to re-concretize
-                    // counterexamples; skip its 8 B/state when no trace is
-                    // wanted.
-                    .keep_fingerprints = opts.hash_compact && opts.want_trace,
+                    // counterexamples; skip its 8 B/state (or the on-disk
+                    // order log) when no trace is wanted.
+                    .keep_fingerprints =
+                        (opts.hash_compact || external) && opts.want_trace,
                     .spill = opts.spill,
+                    .external = opts.external,
                     .expected_states = opts.expected_states};
-  if (opts.hash_compact && opts.compress != CompressionMode::Off)
-    result.note =
+  auto add_note = [&](const char* text) {
+    if (!result.note.empty()) result.note += "; ";
+    result.note += text;
+  };
+  if (external && opts.hash_compact)
+    add_note(
+        "hash-compact is subsumed by the external tier: it stores the "
+        "same 64-bit fingerprints, on disk");
+  if ((opts.hash_compact || external) &&
+      opts.compress != CompressionMode::Off)
+    add_note(
         "compress ignored under hash compaction: fingerprints leave no "
-        "stored bytes to compress";
+        "stored bytes to compress");
   CollapsedStateSet seen(opts.memory_limit, st);
   std::vector<std::uint32_t> parent;
 
@@ -471,7 +522,9 @@ template <class Sys>
     result.raw_pool_bytes = seen.raw_bytes();
     result.spill_bytes = seen.spill_bytes();
     result.waste_bytes = seen.waste_bytes();
-    if (opts.hash_compact)
+    result.external_bytes = seen.external_bytes();
+    result.merge_passes = seen.merge_passes();
+    if (opts.hash_compact || external)
       result.omission_probability = omission_bound(seen.size());
     result.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -482,7 +535,22 @@ template <class Sys>
   auto fail_at = [&](Status status, std::uint32_t index, std::string msg) {
     result.violation = std::move(msg);
     if (opts.want_trace) {
-      if (opts.hash_compact) {
+      if (external) {
+        // Parents live in the on-disk order log (inserts answered
+        // Deferred, so the engine-side parent vector was never fed);
+        // replay the fingerprint chain like hash compaction does.
+        std::vector<std::uint64_t> fps;
+        for (std::uint64_t at = index;
+             at != CollapsedStateSet::kNoParentIndex;
+             at = seen.parent_at(static_cast<std::uint32_t>(at)))
+          fps.push_back(seen.fingerprint_at(static_cast<std::uint32_t>(at)));
+        std::reverse(fps.begin(), fps.end());
+        result.trace = detail::replay_fp_chain(
+            sys, fps,
+            opts.fingerprint != nullptr ? opts.fingerprint
+                                        : &default_fingerprint,
+            opts.symmetry);
+      } else if (opts.hash_compact) {
         std::vector<std::uint64_t> fps;
         for (std::uint32_t at = index; at != 0xffffffffu; at = parent[at])
           fps.push_back(seen.fingerprint_at(at));
@@ -511,10 +579,20 @@ template <class Sys>
   PorMode por = opts.por;
   if (por == PorMode::Ample && (opts.invariant || opts.edge_check)) {
     por = PorMode::Off;
-    if (!result.note.empty()) result.note += "; ";
-    result.note +=
+    add_note(
         "por downgraded to off: invariants/edge checks must see every "
-        "reachable state and edge";
+        "reachable state and edge");
+  }
+  // The ample cycle proviso (C3) re-expands a state when an ample
+  // successor reads back AlreadyPresent; the external tier answers
+  // Deferred instead, which must conservatively count as a revisit — so
+  // every state would expand fully and the reduction would evaporate
+  // while still reporting reduced-looking counts. Downgrade honestly.
+  if (por == PorMode::Ample && external) {
+    por = PorMode::Off;
+    add_note(
+        "por downgraded to off: the external tier defers duplicate "
+        "detection, so the ample cycle proviso cannot observe revisits");
   }
 
   // Violation details are captured here by the callbacks; the matching
@@ -533,9 +611,15 @@ template <class Sys>
   auto outcome = detail::bfs_reach(
       sys, seen, opts.symmetry, mode, por, /*por_visible=*/0,
       [&](std::uint32_t index, const auto& state, const auto& succs) {
-        if (index == 0 && opts.invariant) {
+        // RAM tiers check invariants on fresh successors at insertion (and
+        // the root here); the external tier never materializes a fresh
+        // successor at insert time — states surface at merge resolution —
+        // so every state is checked when it is expanded instead. Same
+        // coverage: each admitted state is expanded exactly once.
+        if ((index == 0 || external) && opts.invariant) {
           std::string msg = opts.invariant(state);
-          if (!msg.empty()) return stop(Status::InvariantViolated, 0, msg);
+          if (!msg.empty())
+            return stop(Status::InvariantViolated, index, msg);
         }
         if (succs.empty() && opts.detect_deadlock)
           return stop(Status::Deadlock, index,

@@ -53,8 +53,10 @@
 
 #include "support/atomic_table.hpp"
 #include "support/bytes.hpp"
+#include "support/run_file.hpp"
 #include "support/spill.hpp"
 #include "support/thread_pool.hpp"
+#include "verify/external_set.hpp"
 #include "verify/fingerprint_set.hpp"
 #include "verify/state_set.hpp"
 
@@ -114,8 +116,15 @@ struct StorageOptions {
   FingerprintFn fingerprint = nullptr;  // null: default_fingerprint
   /// Keep the insertion-ordered fingerprint list (4+8 bytes/state extra)
   /// so counterexample traces can be re-concretized by fingerprint replay.
+  /// Under the external tier this selects the on-disk order log instead.
   bool keep_fingerprints = false;
   SpillPolicy spill;
+  /// Disk-backed visited tier (external_set.hpp): fingerprints live in
+  /// partitioned run files with a RAM cache front, membership resolves by
+  /// sorted-run delayed duplicate detection. Subsumes hash_compact (same
+  /// fingerprint representation, hence the same omission bound) and makes
+  /// `compress` moot; the checkers note both downgrades.
+  ExternalPolicy external;
   std::size_t expected_states = 0;
 };
 
@@ -136,10 +145,9 @@ class CollapsedStateSet {
         budget_(owned_.get()),
         st_(st),
         mode_(st.compress),
-        tuples_(*budget_, st.hash_compact ? 0 : st.expected_states,
-                st.hash_compact ? kDictSlots : kTableSlots, st.spill) {
-    if (st_.hash_compact)
-      fps_ = std::make_unique<FingerprintSet>(*budget_, st_.expected_states);
+        tuples_(*budget_, table_bound(st) ? 0 : st.expected_states,
+                table_bound(st) ? kDictSlots : kTableSlots, st.spill) {
+    init_tiers();
   }
 
   /// Shard constructor: draw on a budget shared with sibling sets (the
@@ -155,10 +163,9 @@ class CollapsedStateSet {
       : budget_(&budget),
         st_(st),
         mode_(st.compress),
-        tuples_(budget, st.hash_compact ? 0 : st.expected_states,
-                st.hash_compact ? kDictSlots : kTableSlots, st.spill) {
-    if (st_.hash_compact)
-      fps_ = std::make_unique<FingerprintSet>(*budget_, st_.expected_states);
+        tuples_(budget, table_bound(st) ? 0 : st.expected_states,
+                table_bound(st) ? kDictSlots : kTableSlots, st.spill) {
+    init_tiers();
   }
 
   ~CollapsedStateSet() {
@@ -173,6 +180,7 @@ class CollapsedStateSet {
 
   [[nodiscard]] InsertResult insert(std::span<const std::byte> state,
                                     std::span<const ComponentMark> marks = {}) {
+    if (ext_) return insert_external(state);
     if (st_.hash_compact) return insert_compacted(state);
     if (mode_ == CompressionMode::Off) {
       auto r = tuples_.insert(state);
@@ -189,6 +197,7 @@ class CollapsedStateSet {
   [[nodiscard]] InsertResult insert(std::span<const std::byte> state,
                                     std::span<const ComponentMark> marks,
                                     std::uint64_t raw_hash) {
+    if (ext_) return insert_external(state);
     if (st_.hash_compact) return insert_compacted(state);
     if (mode_ == CompressionMode::Off) {
       auto r = tuples_.insert(state, raw_hash);
@@ -205,6 +214,24 @@ class CollapsedStateSet {
   /// states between insertion and expansion, and at(cursor) consumes the
   /// front; anything older exists only as a fingerprint.
   [[nodiscard]] std::span<const std::byte> at(std::uint32_t index) const {
+    if (ext_) {
+      // Same consume-the-front discipline as the hash-compact window, but
+      // the frontier lives on disk: resolve_external appended this state's
+      // record to the frontier queue file, and the BFS reads it back
+      // exactly once, in order. Reading also latches `index` as the BFS
+      // parent for every successor deferred while expanding this state.
+      CCREF_REQUIRE(index == window_head_);
+      std::uint32_t len = 0;
+      CCREF_REQUIRE(frontier_q_.pread_at(q_read_, &len, sizeof(len)));
+      scratch_.resize(len);
+      CCREF_REQUIRE(len == 0 ||
+                    frontier_q_.pread_at(q_read_ + sizeof(len),
+                                         scratch_.data(), len));
+      q_read_ += sizeof(len) + len;
+      ++window_head_;
+      defer_parent_ = index;
+      return scratch_;
+    }
     if (st_.hash_compact) {
       CCREF_REQUIRE(index == window_head_ && !window_.empty());
       scratch_.assign(window_.front().begin(), window_.front().end());
@@ -230,15 +257,36 @@ class CollapsedStateSet {
     return tuples_.hash_at(index);
   }
 
-  /// Fingerprint of the index-th inserted state (hash-compact runs with
-  /// keep_fingerprints — the trace-replay fallback).
+  /// Fingerprint of the index-th inserted state (hash-compact or external
+  /// runs with keep_fingerprints — the trace-replay fallback).
   [[nodiscard]] std::uint64_t fingerprint_at(std::uint32_t index) const {
-    CCREF_REQUIRE(st_.hash_compact && st_.keep_fingerprints);
-    CCREF_REQUIRE(index < fp_order_.size());
+    CCREF_REQUIRE(st_.keep_fingerprints);
+    if (ext_) return ext_->fingerprint_at(index);
+    CCREF_REQUIRE(st_.hash_compact && index < fp_order_.size());
     return fp_order_[index];
   }
 
+  /// External tier only: BFS parent index of a resolved state, from the
+  /// on-disk order log (kNoParentIndex for the root). The engine-side
+  /// parent vector cannot exist here — inserts answer Deferred, so the
+  /// BFS never learns which of them were fresh.
+  static constexpr std::uint64_t kNoParentIndex = ~0ull;
+  [[nodiscard]] std::uint64_t parent_at(std::uint32_t index) const {
+    CCREF_REQUIRE(ext_ != nullptr);
+    return ext_->parent_at(index);
+  }
+
+  /// External tier: run delayed duplicate detection over every partition
+  /// with pending fingerprints, appending genuinely-new states to the
+  /// frontier. Drained for the RAM tiers (they never defer), so the BFS
+  /// drain loop costs nothing when --external is off.
+  [[nodiscard]] ResolveOutcome resolve_pending() {
+    if (!ext_) return ResolveOutcome::Drained;
+    return resolve_external(/*only_ripe=*/false);
+  }
+
   [[nodiscard]] std::size_t size() const {
+    if (ext_) return ext_->size();
     return st_.hash_compact ? fps_->size() : tuples_.size();
   }
 
@@ -247,6 +295,7 @@ class CollapsedStateSet {
     for (const auto& d : dicts_)
       if (d) total += d->memory_used();
     if (fps_) total += fps_->memory_used();
+    if (ext_) total += ext_->memory_used();
     total += window_charged_ + fp_charged_;
     return total;
   }
@@ -259,6 +308,21 @@ class CollapsedStateSet {
 
   [[nodiscard]] bool hash_compact() const { return st_.hash_compact; }
 
+  [[nodiscard]] bool external() const { return ext_ != nullptr; }
+
+  /// Disk bytes held by the external tier: pending + history runs, the
+  /// order log, and the frontier queue. Zero for the RAM tiers.
+  [[nodiscard]] std::size_t external_bytes() const {
+    return ext_ ? ext_->disk_bytes() +
+                      static_cast<std::size_t>(frontier_q_.bytes())
+                : 0;
+  }
+
+  /// Sorted-run merge passes the external tier performed.
+  [[nodiscard]] std::size_t merge_passes() const {
+    return ext_ ? ext_->merge_passes() : 0;
+  }
+
   /// Bytes the pool would hold uncompressed: the summed raw encoding sizes
   /// of every stored state (Off: exactly pool_bytes()).
   [[nodiscard]] std::size_t raw_bytes() const { return raw_bytes_; }
@@ -267,6 +331,7 @@ class CollapsedStateSet {
   /// dictionary footprint (entries and tables included — the honest side of
   /// the raw_bytes() comparison). Hash-compact: the fingerprint table.
   [[nodiscard]] std::size_t stored_bytes() const {
+    if (ext_) return ext_->memory_used();  // the cache front stands in
     if (st_.hash_compact) return fps_->memory_used();
     std::size_t total = tuples_.pool_bytes();
     for (const auto& d : dicts_)
@@ -301,9 +366,83 @@ class CollapsedStateSet {
   // 4 KB floor per dictionary would dominate small budgets).
   static constexpr std::size_t kDictSlots = 64;
   static constexpr std::size_t kDictChunk0 = 256;
-  // Default inner-table floor (StateSet's own default). Hash-compact runs
-  // shrink the unused tuple table to the dictionary floor instead.
+  // Default inner-table floor (StateSet's own default). Hash-compact and
+  // external runs shrink the unused tuple table to the dictionary floor.
   static constexpr std::size_t kTableSlots = 1024;
+
+  /// Tiers that bypass the tuple pool entirely (fingerprints replace
+  /// stored bytes), so the inner table keeps only its floor.
+  [[nodiscard]] static bool table_bound(const StorageOptions& st) {
+    return st.hash_compact || st.external.enabled();
+  }
+
+  void init_tiers() {
+    if (st_.external.enabled()) {
+      // External subsumes hash compaction: same fingerprint
+      // representation, but membership lives on disk. Normalizing here
+      // protects direct users of the set; the checkers also note it.
+      st_.hash_compact = false;
+      auto cfg = ExternalVisitedSet::configure(st_.external, budget_->limit());
+      cfg.keep_order_log = st_.keep_fingerprints;
+      ext_ = std::make_unique<ExternalVisitedSet>(*budget_, cfg);
+      ext_ok_ = ext_->ok() &&
+                frontier_q_.open(cfg.dir, "frontier", kFrontierBufBytes);
+      return;
+    }
+    if (st_.hash_compact)
+      fps_ = std::make_unique<FingerprintSet>(*budget_, st_.expected_states);
+  }
+
+  static constexpr std::size_t kFrontierBufBytes = 32768;
+
+  [[nodiscard]] InsertResult insert_external(std::span<const std::byte> state) {
+    if (!ext_ok_) return {Outcome::Exhausted, 0};
+    const std::uint64_t fp =
+        (st_.fingerprint != nullptr ? st_.fingerprint
+                                    : &default_fingerprint)(state);
+    auto o = ext_->insert(fp, defer_parent_, state);
+    if (o == Outcome::Exhausted) {
+      ext_ok_ = false;
+      return {Outcome::Exhausted, 0};
+    }
+    // Ripe partitions merge inline — the amortized cost of the deferred
+    // inserts that filled them. Fresh survivors land on the frontier
+    // queue and the BFS picks them up at the current sweep's end.
+    if (o == Outcome::Deferred && ext_->needs_resolve() &&
+        resolve_external(/*only_ripe=*/true) == ResolveOutcome::Failed)
+      return {Outcome::Exhausted, 0};
+    return {o, 0};
+  }
+
+  [[nodiscard]] ResolveOutcome resolve_external(bool only_ripe) {
+    if (!ext_ok_) return ResolveOutcome::Failed;
+    // The frontier queue is read exactly once and in order: when the BFS
+    // has consumed everything in it, reclaim the file before appending
+    // the next wave, bounding it to about one BFS level of encodings.
+    if (q_read_ == frontier_q_.bytes() && q_read_ != 0) {
+      if (!frontier_q_.reset()) {
+        ext_ok_ = false;
+        return ResolveOutcome::Failed;
+      }
+      q_read_ = 0;
+    }
+    bool q_ok = true;
+    auto r = ext_->resolve(only_ripe, [&](std::uint32_t /*index*/,
+                                          std::uint64_t /*fp*/,
+                                          std::uint64_t /*parent*/,
+                                          std::span<const std::byte> bytes) {
+      const auto len = static_cast<std::uint32_t>(bytes.size());
+      q_ok = q_ok && frontier_q_.append(&len, sizeof(len));
+      if (!bytes.empty())
+        q_ok = q_ok && frontier_q_.append(bytes.data(), bytes.size());
+      raw_bytes_ += bytes.size();
+    });
+    if (!q_ok || !frontier_q_.flush() || r == ResolveOutcome::Failed) {
+      ext_ok_ = false;
+      return ResolveOutcome::Failed;
+    }
+    return r;
+  }
 
   [[nodiscard]] InsertResult insert_compacted(
       std::span<const std::byte> state) {
@@ -405,6 +544,15 @@ class CollapsedStateSet {
   mutable std::size_t window_charged_ = 0;
   std::size_t fp_charged_ = 0;
   std::vector<std::uint64_t> fp_order_;
+  // External-tier state: the disk-backed set, the on-disk frontier queue
+  // of resolved-but-unexpanded encodings (read back by at(), which also
+  // latches the defer parent), and a health flag that turns any disk
+  // failure into an honest Exhausted.
+  std::unique_ptr<ExternalVisitedSet> ext_;
+  mutable RunFile frontier_q_;
+  mutable std::uint64_t q_read_ = 0;
+  mutable std::uint64_t defer_parent_ = kNoParentIndex;
+  bool ext_ok_ = false;
 };
 
 // ---------------------------------------------------------------------------

@@ -18,6 +18,15 @@
 // same single budget, though the exact state count at exhaustion depends
 // on scheduling.
 //
+// Under `--external` the visited set is per-shard delayed duplicate
+// detection on disk (sharded_state_set.hpp): inserts answer Deferred,
+// ripe merges run inline on whichever worker trips a shard's watermark
+// (overlapping merges with exploration), and when the frontier goes
+// quiescent with fingerprints still pending, one worker drains every
+// shard under a mutex that also serializes worker exits — quiescence is
+// only believed when in_flight == 0 AND nothing is pending, both
+// observed under that lock.
+//
 // Termination detection (proof sketch in DESIGN.md §4.6): `in_flight`
 // counts states inserted but not yet fully expanded. It is incremented
 // BEFORE the item becomes stealable and decremented only AFTER its
@@ -56,7 +65,9 @@ std::vector<std::string> rebuild_trace_sharded(const Sys& sys,
   // full 64-bit fingerprint: walk the parent chain collecting fingerprints
   // and re-concretize by fingerprint-matching real transitions from the
   // initial state (see append_step_label_fp for the exactness argument).
-  if (seen.hash_compact()) {
+  // The external tier replays the same way, reading fingerprints and
+  // parents back from the per-shard order logs.
+  if (seen.hash_compact() || seen.external()) {
     std::vector<std::uint64_t> fps;
     for (std::uint64_t at = ShardedStateSet::pack(target);
          at != ShardedStateSet::kNoParent;) {
@@ -103,29 +114,49 @@ template <class Sys>
   const sem::LabelMode mode =
       opts.edge_check ? sem::LabelMode::Full : sem::LabelMode::Quiet;
 
+  const bool external = opts.external.enabled();
+  auto add_note = [&](const char* text) {
+    if (!result.note.empty()) result.note += "; ";
+    result.note += text;
+  };
   // Same downgrade rule as the sequential engine: invariants/edge checks
   // must see every reachable state and edge, which a reduced search does not
   // visit.
   PorMode por = opts.por;
   if (por == PorMode::Ample && (opts.invariant || opts.edge_check)) {
     por = PorMode::Off;
-    result.note =
+    add_note(
         "por downgraded to off: invariants/edge checks must see every "
-        "reachable state and edge";
+        "reachable state and edge");
   }
-  if (opts.hash_compact && opts.compress != CompressionMode::Off) {
-    if (!result.note.empty()) result.note += "; ";
-    result.note +=
+  // Same external-tier composition rules as the sequential engine (see
+  // checker.hpp): Deferred cannot serve as the C3 revisit signal, and
+  // fingerprints-on-disk subsume hash compaction.
+  if (por == PorMode::Ample && external) {
+    por = PorMode::Off;
+    add_note(
+        "por downgraded to off: the external tier defers duplicate "
+        "detection, so the ample cycle proviso cannot observe revisits");
+  }
+  if (external && opts.hash_compact)
+    add_note(
+        "hash-compact is subsumed by the external tier: it stores the "
+        "same 64-bit fingerprints, on disk");
+  if ((opts.hash_compact || external) &&
+      opts.compress != CompressionMode::Off)
+    add_note(
         "compress ignored under hash compaction: fingerprints leave no "
-        "stored bytes to compress";
-  }
+        "stored bytes to compress");
   // No fingerprint log here: every record stores its full 64-bit hash,
   // which under compaction IS the fingerprint trace replay matches on.
+  // The external tier is the exception — its records live on disk, so
+  // trace replay needs the order log (keep_fingerprints routes there).
   StorageOptions st{.compress = opts.compress,
-                    .hash_compact = opts.hash_compact,
+                    .hash_compact = opts.hash_compact && !external,
                     .fingerprint = opts.fingerprint,
-                    .keep_fingerprints = false,
+                    .keep_fingerprints = external && opts.want_trace,
                     .spill = opts.spill,
+                    .external = opts.external,
                     .expected_states = opts.expected_states};
   ShardedStateSet seen(opts.memory_limit, shards,
                        /*track_parents=*/opts.want_trace, st);
@@ -149,9 +180,14 @@ template <class Sys>
     workers.push_back(std::make_unique<Worker>());
 
   // Termination detector: see the header comment. `stop` short-circuits
-  // on the first violation / deadlock / memory exhaustion.
+  // on the first violation / deadlock / memory exhaustion. Under the
+  // external tier, `drain_mu` serializes full drains AND worker exits:
+  // pending counts only move during expansions (in_flight > 0) or under
+  // this mutex, so a worker that observes in_flight == 0 and pending == 0
+  // while holding it has witnessed true quiescence and may retire.
   std::atomic<std::size_t> in_flight{0};
   std::atomic<bool> stop{false};
+  std::mutex drain_mu;
   std::mutex fail_mu;  // cold: taken once, by the first failure
   bool failed = false;
   Status fail_status = Status::Ok;
@@ -177,21 +213,44 @@ template <class Sys>
     detail::maybe_canonicalize(sys, root, opts.symmetry);
     sys.encode(root, sink);
     auto ins = seen.insert(sink.bytes(), sink.marks());
-    CCREF_ASSERT(ins.outcome == StateSet::Outcome::Inserted);
-    std::string msg = opts.invariant ? opts.invariant(root) : std::string();
-    if (!msg.empty()) {
-      report(Status::InvariantViolated, ins.ref, std::move(msg));
+    bool ok = ins.outcome != StateSet::Outcome::Exhausted;
+    if (!ok) {
+      report(Status::Unfinished, {}, std::string());
+    } else if (external) {
+      // The root defers like any other state; drain immediately so the
+      // search starts from its admitted (shard, order-log index) Ref.
+      CCREF_ASSERT(ins.outcome == StateSet::Outcome::Deferred);
+      std::vector<ShardedStateSet::FreshState> fresh;
+      if (seen.resolve_external(/*only_ripe=*/false, fresh) ==
+          ResolveOutcome::Failed) {
+        report(Status::Unfinished, {}, std::string());
+        ok = false;
+      } else {
+        CCREF_ASSERT(fresh.size() == 1);
+        ins.ref = fresh[0].ref;
+      }
     } else {
-      auto b = sink.bytes();
-      in_flight.store(1, std::memory_order_relaxed);
-      workers[0]->frontier.push(
-          new Item{ins.ref, std::vector<std::byte>(b.begin(), b.end())});
+      CCREF_ASSERT(ins.outcome == StateSet::Outcome::Inserted);
+    }
+    if (ok) {
+      std::string msg = opts.invariant ? opts.invariant(root) : std::string();
+      if (!msg.empty()) {
+        report(Status::InvariantViolated, ins.ref, std::move(msg));
+      } else {
+        auto b = sink.bytes();
+        in_flight.store(1, std::memory_order_relaxed);
+        workers[0]->frontier.push(
+            new Item{ins.ref, std::vector<std::byte>(b.begin(), b.end())});
+      }
     }
   }
 
   auto worker_fn = [&](unsigned id) {
     Worker& self = *workers[id];
     SpinBackoff idle;
+    // States admitted by external resolve passes (inline ripe merges in
+    // insert, or full drains below) land here and become frontier items.
+    std::vector<ShardedStateSet::FreshState> fresh;
 
     auto next_item = [&]() -> Item* {
       if (Item* it = self.frontier.pop()) return it;
@@ -203,16 +262,57 @@ template <class Sys>
       return nullptr;
     };
 
+    auto enqueue_fresh = [&]() {
+      for (auto& f : fresh) {
+        // Count BEFORE the item becomes stealable — the termination
+        // detector's invariant depends on this order.
+        in_flight.fetch_add(1, std::memory_order_release);
+        self.frontier.push(new Item{f.ref, std::move(f.bytes)});
+      }
+      fresh.clear();
+    };
+
     while (!stop.load(std::memory_order_acquire)) {
       std::unique_ptr<Item> item(next_item());
       if (!item) {
-        if (in_flight.load(std::memory_order_acquire) == 0) return;
+        if (in_flight.load(std::memory_order_acquire) == 0) {
+          if (!external) return;
+          // External tier: quiescent for now, but deferred fingerprints
+          // may still hide fresh states. Exits and drains are serialized
+          // by drain_mu (see its comment); a worker that loses the
+          // try_lock race just spins and re-observes.
+          if (drain_mu.try_lock()) {
+            if (in_flight.load(std::memory_order_acquire) == 0) {
+              if (seen.external_pending() == 0) {
+                drain_mu.unlock();
+                return;
+              }
+              fresh.clear();
+              if (seen.resolve_external(/*only_ripe=*/false, fresh) ==
+                  ResolveOutcome::Failed)
+                report(Status::Unfinished, {}, std::string());
+              enqueue_fresh();
+            }
+            drain_mu.unlock();
+          }
+        }
         idle.pause();
         continue;
       }
       idle.reset();
       ByteSource src(item->bytes);
       auto state = sys.decode(src);
+      // External tier: inserts answer Deferred, so invariants cannot be
+      // checked at insertion. Every admitted state is expanded exactly
+      // once — check here instead (the root is also checked up front;
+      // re-checking it is harmless).
+      if (external && opts.invariant) {
+        std::string msg = opts.invariant(state);
+        if (!msg.empty()) {
+          report(Status::InvariantViolated, item->ref, std::move(msg));
+          return;
+        }
+      }
 
       bool revisit = false;  // some successor was already visited (C3)
       auto do_edge = [&](auto& succ, sem::Label& label) {
@@ -229,12 +329,21 @@ template <class Sys>
         self.sink.clear();
         sys.encode(succ, self.sink);
         auto ins = seen.insert(self.sink.bytes(), self.sink.marks(),
-                               ShardedStateSet::pack(item->ref));
+                               ShardedStateSet::pack(item->ref),
+                               external ? &fresh : nullptr);
         if (ins.outcome == StateSet::Outcome::Exhausted) {
           report(Status::Unfinished, {}, std::string());
           return false;
         }
-        if (ins.outcome == StateSet::Outcome::AlreadyPresent) revisit = true;
+        // Deferred is conservatively a revisit for C3 — moot here since
+        // POR is downgraded under external, but kept for symmetry with
+        // the sequential engine.
+        if (ins.outcome == StateSet::Outcome::AlreadyPresent ||
+            ins.outcome == StateSet::Outcome::Deferred)
+          revisit = true;
+        // A ripe inline merge inside insert() may have admitted a batch
+        // of earlier-deferred states; they join this worker's frontier.
+        if (!fresh.empty()) enqueue_fresh();
         if (ins.outcome == StateSet::Outcome::Inserted) {
           if (opts.invariant) {
             std::string msg = opts.invariant(succ);
@@ -317,7 +426,11 @@ template <class Sys>
   result.raw_pool_bytes = seen.raw_bytes();
   result.spill_bytes = seen.spill_bytes();
   result.waste_bytes = seen.waste_bytes();
-  if (opts.hash_compact)
+  if (seen.external()) {
+    result.external_bytes = seen.external_bytes();
+    result.merge_passes = seen.merge_passes();
+  }
+  if (opts.hash_compact || seen.external())
     result.omission_probability = omission_bound(seen.size());
   for (const auto& w : workers) result.transitions += w->transitions;
   if (failed) {

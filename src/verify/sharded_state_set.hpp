@@ -29,11 +29,14 @@
 //     shard; callers that need several states at once copy.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "support/thread_pool.hpp"
 #include "verify/collapse.hpp"
+#include "verify/external_set.hpp"
 #include "verify/state_set.hpp"
 
 namespace ccref::verify {
@@ -63,7 +66,16 @@ class ShardedStateSet {
 
   struct InsertResult {
     Outcome outcome;
-    Ref ref;  // valid unless Exhausted
+    Ref ref;  // valid unless Exhausted or Deferred
+  };
+
+  /// One state admitted by an external-tier resolve pass: its global Ref
+  /// plus an owned copy of the encoded bytes, ready to become a frontier
+  /// item. (External records live on disk; the engine never reads them
+  /// back through at().)
+  struct FreshState {
+    Ref ref;
+    std::vector<std::byte> bytes;
   };
 
   /// `shard_count` is rounded up to a power of two and clamped to
@@ -97,6 +109,28 @@ class ShardedStateSet {
     while (n < shard_count && n < kMaxShards) n <<= 1;
     shard_bits_ = 0;
     for (unsigned v = n; v > 1; v >>= 1) ++shard_bits_;
+
+    if (st_.external.enabled()) {
+      // External tier: each shard runs its own single-partition
+      // ExternalVisitedSet behind a spinlock — the shard hash (high
+      // fingerprint bits) already plays the partition role, so merges of
+      // different shards proceed on different worker threads while the
+      // rest of the pool keeps exploring. No CAS tables are built at all:
+      // the whole budget is left to the caches, buffers and sort scratch
+      // that configure() splits n ways.
+      auto cfg = ExternalVisitedSet::configure(st_.external,
+                                               memory_limit_bytes, n);
+      cfg.partitions = 1;
+      cfg.keep_order_log = st_.keep_fingerprints;
+      ext_shards_.reserve(n);
+      ext_ok_ = true;
+      for (unsigned i = 0; i < n; ++i) {
+        auto es = std::make_unique<ExtShard>(budget_, cfg);
+        ext_ok_ = ext_ok_ && es->set.ok();
+        ext_shards_.push_back(std::move(es));
+      }
+      return;
+    }
 
     ConcurrentCollapsedSet::Layout layout;
     std::size_t slots = 1024;
@@ -132,32 +166,88 @@ class ShardedStateSet {
   /// thread ever writes the record).
   [[nodiscard]] InsertResult insert(std::span<const std::byte> state,
                                     std::span<const ComponentMark> marks = {},
-                                    std::uint64_t parent = kNoParent) {
-    // Under hash compaction the run's FingerprintFn doubles as the shard
+                                    std::uint64_t parent = kNoParent,
+                                    std::vector<FreshState>* fresh = nullptr) {
+    // Under hash compaction (and the external tier, which stores nothing
+    // BUT fingerprints) the run's FingerprintFn doubles as the shard
     // hash: computed once, it picks the shard AND becomes the stored
     // fingerprint (shards use the high bits, tables the low bits).
-    const std::uint64_t h =
-        st_.hash_compact ? fp_(state) : hash_bytes(state);
+    const std::uint64_t h = (st_.hash_compact || !ext_shards_.empty())
+                                ? fp_(state)
+                                : hash_bytes(state);
     const auto si = static_cast<std::uint32_t>(
         shard_bits_ == 0 ? 0 : h >> (64 - shard_bits_));
+    if (!ext_shards_.empty())
+      return insert_external(si, h, parent, state, fresh);
     auto r = shards_[si]->insert(state, marks, h, parent);
     return {r.outcome, {si, r.ref}};
   }
 
-  /// Quiescent-only: bytes of a stored state.
+  /// External tier only: run delayed duplicate detection across shards.
+  /// `only_ripe` restricts the pass to shards past their watermark; the
+  /// final drain passes false. Admitted states are appended to `fresh`
+  /// for the caller to re-enqueue. Thread-safe (per-shard locks), but the
+  /// drain protocol in par_explore serializes full drains.
+  [[nodiscard]] ResolveOutcome resolve_external(bool only_ripe,
+                                                std::vector<FreshState>& fresh) {
+    CCREF_REQUIRE(!ext_shards_.empty());
+    bool any = false;
+    for (std::uint32_t si = 0; si < ext_shards_.size(); ++si) {
+      ExtShard& es = *ext_shards_[si];
+      std::lock_guard<SpinLock> lock(es.mu);
+      switch (resolve_shard_locked(si, es, only_ripe, fresh)) {
+        case ResolveOutcome::Fresh: any = true; break;
+        case ResolveOutcome::Drained: break;
+        case ResolveOutcome::Failed: return ResolveOutcome::Failed;
+      }
+    }
+    return any ? ResolveOutcome::Fresh : ResolveOutcome::Drained;
+  }
+
+  /// External tier: states queued for delayed duplicate detection but not
+  /// yet resolved. Exact whenever no insert is mid-flight (in_flight == 0
+  /// in the parallel engine), which is the only point the termination
+  /// detector reads it.
+  [[nodiscard]] std::size_t external_pending() const {
+    return ext_pending_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool external() const { return !ext_shards_.empty(); }
+
+  /// Quiescent-only: bytes held on disk by the external tier.
+  [[nodiscard]] std::size_t external_bytes() const {
+    std::size_t total = 0;
+    for (const auto& es : ext_shards_) total += es->set.disk_bytes();
+    return total;
+  }
+
+  /// Quiescent-only: sorted-run merge passes across shards.
+  [[nodiscard]] std::size_t merge_passes() const {
+    std::size_t total = 0;
+    for (const auto& es : ext_shards_) total += es->set.merge_passes();
+    return total;
+  }
+
+  /// Quiescent-only: bytes of a stored state. Not available under the
+  /// external tier (records live on disk; traces replay by fingerprint).
   [[nodiscard]] std::span<const std::byte> at(Ref r) const {
+    CCREF_REQUIRE(ext_shards_.empty());
     return shards_[r.shard]->at(r.index);
   }
 
   /// Quiescent-only: BFS parent recorded at insertion (kNoParent for root).
+  /// Under the external tier this reads the shard's order log.
   [[nodiscard]] std::uint64_t parent_of(Ref r) const {
+    if (!ext_shards_.empty()) return ext_shards_[r.shard]->set.parent_at(r.index);
     CCREF_REQUIRE(track_parents_);
     return shards_[r.shard]->parent_of(r.index);
   }
 
   /// Total states across shards (exact whenever no insert is mid-flight).
+  /// Under the external tier, pending (unresolved) entries are not counted.
   [[nodiscard]] std::size_t size() const {
     std::size_t total = 0;
+    for (const auto& es : ext_shards_) total += es->set.size();
     for (const auto& sh : shards_) total += sh->size();
     return total;
   }
@@ -176,9 +266,12 @@ class ShardedStateSet {
   }
 
   /// Quiescent-only: bytes actually spent storing states (pools plus
-  /// dictionary footprints) across shards.
+  /// dictionary footprints) across shards. Under the external tier this
+  /// is the fixed RAM plan (caches + buffers + sort scratch) — the
+  /// records themselves live on disk (external_bytes()).
   [[nodiscard]] std::size_t stored_bytes() const {
     std::size_t total = 0;
+    for (const auto& es : ext_shards_) total += es->set.memory_used();
     for (const auto& sh : shards_) total += sh->stored_bytes();
     return total;
   }
@@ -202,13 +295,69 @@ class ShardedStateSet {
   /// The resolved fingerprint function this set hashes with.
   [[nodiscard]] FingerprintFn fingerprint_fn() const { return fp_; }
 
-  /// Stored hash of a record — the state's fingerprint under compaction.
+  /// Stored hash of a record — the state's fingerprint under compaction
+  /// and the external tier (read back from the shard's order log there).
   [[nodiscard]] std::uint64_t hash_of(Ref r) const {
+    if (!ext_shards_.empty())
+      return ext_shards_[r.shard]->set.fingerprint_at(r.index);
     return shards_[r.shard]->hash_of(r.index);
   }
 
  private:
   static constexpr unsigned kMaxShards = 256;
+
+  /// One external shard: a single-partition delayed-duplicate-detection
+  /// set behind a spinlock. The lock covers insert and resolve; both are
+  /// short (an append, or one watermark-bounded merge) and the shard
+  /// fan-out keeps contention low.
+  struct ExtShard {
+    SpinLock mu;
+    ExternalVisitedSet set;
+    ExtShard(MemoryBudget& b, const ExternalVisitedSet::Config& cfg)
+        : set(b, cfg) {}
+  };
+
+  [[nodiscard]] InsertResult insert_external(std::uint32_t si, std::uint64_t fp,
+                                             std::uint64_t parent,
+                                             std::span<const std::byte> state,
+                                             std::vector<FreshState>* fresh) {
+    if (!ext_ok_) return {Outcome::Exhausted, {}};
+    ExtShard& es = *ext_shards_[si];
+    std::lock_guard<SpinLock> lock(es.mu);
+    const Outcome out = es.set.insert(fp, parent, state);
+    if (out == Outcome::Exhausted) return {out, {}};
+    if (out == Outcome::Deferred) {
+      ext_pending_.fetch_add(1, std::memory_order_release);
+      // Ripe inline resolve: the inserting worker pays for this shard's
+      // merge while the others keep exploring — partitions routed to
+      // workers, merges overlapped with expansion.
+      if (fresh != nullptr && es.set.needs_resolve() &&
+          resolve_shard_locked(si, es, /*only_ripe=*/true, *fresh) ==
+              ResolveOutcome::Failed)
+        return {Outcome::Exhausted, {}};
+    }
+    return {out, {si, 0}};
+  }
+
+  /// Caller holds es.mu. Decrements ext_pending_ by what the merge
+  /// consumed and appends admitted states to `fresh`.
+  [[nodiscard]] ResolveOutcome resolve_shard_locked(
+      std::uint32_t si, ExtShard& es, bool only_ripe,
+      std::vector<FreshState>& fresh) {
+    const std::size_t before = es.set.pending();
+    const ResolveOutcome ro = es.set.resolve(
+        only_ripe, [&](std::uint32_t index, std::uint64_t /*fp*/,
+                       std::uint64_t /*parent*/,
+                       std::span<const std::byte> bytes) {
+          fresh.push_back({Ref{si, index},
+                           std::vector<std::byte>(bytes.begin(), bytes.end())});
+        });
+    const std::size_t consumed = before - es.set.pending();
+    if (consumed != 0)
+      ext_pending_.fetch_sub(consumed, std::memory_order_release);
+    if (ro == ResolveOutcome::Failed) ext_ok_ = false;
+    return ro;
+  }
 
   MemoryBudget budget_;
   StorageOptions st_;
@@ -217,6 +366,9 @@ class ShardedStateSet {
   bool track_parents_;
   CollapseStructure structure_;  // shared across shards (see ctor comment)
   std::vector<std::unique_ptr<ConcurrentCollapsedSet>> shards_;
+  std::vector<std::unique_ptr<ExtShard>> ext_shards_;  // external tier only
+  std::atomic<std::size_t> ext_pending_{0};
+  bool ext_ok_ = false;  // meaningful only when ext_shards_ is non-empty
 };
 
 }  // namespace ccref::verify

@@ -8,6 +8,9 @@
 // probability, never a silently wrong count presented as exact.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <thread>
+
 #include "protocols/invalidate.hpp"
 #include "protocols/lockserver.hpp"
 #include "protocols/migratory.hpp"
@@ -82,6 +85,95 @@ TEST(FingerprintSet, ExhaustionAtHardCapWhenGrowthRefused) {
   for (std::uint64_t i = 1; i <= accepted; ++i)
     EXPECT_EQ(set.insert(i * 0x9e3779b97f4a7c15ull).outcome,
               FingerprintSet::Outcome::AlreadyPresent);
+}
+
+TEST(FingerprintSet, GrowRacesSiblingChargeOnSharedBudget) {
+  // Two sets drawing on one near-exhausted budget: A's grow-before-insert
+  // (try_reserve of the doubled table) interleaves with B's charges. Any
+  // outcome is legal per insert — what must hold is that growth is
+  // admitted BEFORE the probe chain moves (a refused grow never corrupts
+  // already-accepted entries), the budget never bursts, and every accepted
+  // fingerprint stays findable afterwards.
+  MemoryBudget budget(40 << 10);
+  FingerprintSet a(budget);
+  FingerprintSet b(budget);
+  std::size_t accepted_a = 0, accepted_b = 0;
+  bool full_a = false, full_b = false;
+  for (std::uint64_t i = 1; !(full_a && full_b); ++i) {
+    ASSERT_LT(i, 100000u);
+    if (!full_a) {
+      auto r = a.insert(i * 0x9e3779b97f4a7c15ull);
+      if (r.outcome == FingerprintSet::Outcome::Exhausted)
+        full_a = true;
+      else
+        ++accepted_a;
+    }
+    if (!full_b) {
+      auto r = b.insert(i * 0xc2b2ae3d27d4eb4full);
+      if (r.outcome == FingerprintSet::Outcome::Exhausted)
+        full_b = true;
+      else
+        ++accepted_b;
+    }
+    ASSERT_LE(budget.used(), budget.limit());
+  }
+  EXPECT_GT(accepted_a, 0u);
+  EXPECT_GT(accepted_b, 0u);
+  EXPECT_EQ(a.size(), accepted_a);
+  EXPECT_EQ(b.size(), accepted_b);
+  EXPECT_EQ(budget.used(), a.memory_used() + b.memory_used());
+  for (std::uint64_t i = 1; i <= accepted_a; ++i)
+    ASSERT_EQ(a.insert(i * 0x9e3779b97f4a7c15ull).outcome,
+              FingerprintSet::Outcome::AlreadyPresent);
+  for (std::uint64_t i = 1; i <= accepted_b; ++i)
+    ASSERT_EQ(b.insert(i * 0xc2b2ae3d27d4eb4full).outcome,
+              FingerprintSet::Outcome::AlreadyPresent);
+}
+
+TEST(FingerprintSet, ShardedGrowUnderSharedBudgetIsRaceFree) {
+  // The parallel engine's shape, run under TSan in CI: four shard-owned
+  // sets hammering one atomic MemoryBudget, so every grow's try_reserve
+  // races the other shards' charges. Per-set state is shard-local (no
+  // locks needed); the shared budget must end exactly balanced against
+  // the per-set books and never burst its limit.
+  MemoryBudget budget(160 << 10);
+  constexpr int kShards = 4;
+  std::vector<std::unique_ptr<FingerprintSet>> shards;
+  for (int s = 0; s < kShards; ++s)
+    shards.push_back(std::make_unique<FingerprintSet>(budget));
+  std::vector<std::size_t> accepted(kShards, 0);
+  std::vector<std::thread> workers;
+  for (int s = 0; s < kShards; ++s)
+    workers.emplace_back([&, s] {
+      FingerprintSet& set = *shards[static_cast<std::size_t>(s)];
+      for (std::uint64_t i = 1; i <= 50000; ++i) {
+        auto r = set.insert((i * kShards + static_cast<std::uint64_t>(s)) *
+                            0x9e3779b97f4a7c15ull);
+        if (r.outcome == FingerprintSet::Outcome::Exhausted) break;
+        ++accepted[static_cast<std::size_t>(s)];
+      }
+    });
+  for (auto& w : workers) w.join();
+  std::size_t charged = 0, total = 0;
+  for (int s = 0; s < kShards; ++s) {
+    const auto& set = *shards[static_cast<std::size_t>(s)];
+    EXPECT_GT(accepted[static_cast<std::size_t>(s)], 0u) << "shard " << s;
+    EXPECT_EQ(set.size(), accepted[static_cast<std::size_t>(s)]);
+    charged += set.memory_used();
+    total += set.size();
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_EQ(budget.used(), charged);
+  EXPECT_LE(budget.used(), budget.limit());
+  // Acceptance is a membership promise: re-probes must all hit.
+  for (int s = 0; s < kShards; ++s)
+    for (std::uint64_t i = 1; i <= accepted[static_cast<std::size_t>(s)]; ++i)
+      ASSERT_EQ(shards[static_cast<std::size_t>(s)]
+                    ->insert((i * kShards + static_cast<std::uint64_t>(s)) *
+                             0x9e3779b97f4a7c15ull)
+                    .outcome,
+                FingerprintSet::Outcome::AlreadyPresent)
+          << "shard " << s;
 }
 
 TEST(OmissionBound, BirthdayEstimate) {
